@@ -1,0 +1,22 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark corresponds to a table or figure of the paper (see the
+experiment index in DESIGN.md and the measured results in EXPERIMENTS.md).
+The heavy reproductions (Table 1) use ``benchmark.pedantic`` with a single
+round so that ``pytest benchmarks/ --benchmark-only`` stays in the
+minutes range; the micro-benchmarks (O(D) checks, layout construction) use
+the default calibrated timing.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an expensive reproduction exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    """Fixture exposing :func:`run_once`."""
+    return run_once

@@ -1,0 +1,64 @@
+"""Benchmarks C45, C46, A1 — the O(D) check, the O(D²) minimisation, and the
+generic-isomorphism ablation.
+
+Corollary 4.5 claims the ``B(d,D) ≅ H(d^{p'}, d^{q'}, d)`` decision takes
+``O(D)`` time; Corollary 4.6 claims the lens-minimising split is found in
+``O(D²)``.  The ablation (A1 in DESIGN.md) compares the O(D) structural check
+against deciding the same question with the generic isomorphism search on the
+actual ``d^D``-vertex digraphs — the approach the paper's theory makes
+unnecessary.
+"""
+
+import pytest
+
+from repro.core.checks import is_otis_layout_of_de_bruijn, minimal_lens_split
+from repro.graphs.generators import de_bruijn
+from repro.graphs.isomorphism import find_isomorphism
+from repro.otis.h_digraph import h_digraph
+
+
+@pytest.mark.benchmark(group="check-O(D)")
+@pytest.mark.parametrize("D", [8, 16, 64, 256, 1024])
+def test_corollary_4_5_structural_check(benchmark, D):
+    """The O(D) check stays sub-millisecond even for astronomically large n."""
+    p_prime = D // 2
+    q_prime = D - p_prime + 1
+    verdict = benchmark(is_otis_layout_of_de_bruijn, 2, p_prime, q_prime)
+    assert verdict  # Corollary 4.4: the balanced split works for every even D
+
+
+@pytest.mark.benchmark(group="check-O(D)")
+@pytest.mark.parametrize("D", [8, 16, 64, 256])
+def test_corollary_4_6_minimisation(benchmark, D):
+    """The O(D^2) lens minimisation over all splits."""
+    split = benchmark(minimal_lens_split, 2, D)
+    if D % 2 == 0:
+        assert (split.p_prime, split.q_prime) == (D // 2, D // 2 + 1)
+
+
+@pytest.mark.benchmark(group="check-ablation")
+@pytest.mark.parametrize("D", [4, 6, 8])
+def test_ablation_generic_isomorphism_search(benchmark, once, D):
+    """A1: decide the same layout question by explicit isomorphism search.
+
+    This is what the paper's structural theory replaces: the generic search
+    must construct and match the full ``2^D``-vertex digraphs.  Compare its
+    timing against the ``check-O(D)`` group — the gap is the paper's point
+    (orders of magnitude, and growing exponentially with ``D``).
+    """
+    p_prime, q_prime = D // 2, D // 2 + 1
+
+    def decide_by_search():
+        B = de_bruijn(2, D)
+        H = h_digraph(2**p_prime, 2**q_prime, 2)
+        return find_isomorphism(B, H) is not None
+
+    assert once(benchmark, decide_by_search)
+
+
+@pytest.mark.benchmark(group="check-ablation")
+@pytest.mark.parametrize("D", [4, 6, 8])
+def test_ablation_structural_check_same_instances(benchmark, D):
+    """The structural check on exactly the instances used by the ablation."""
+    p_prime, q_prime = D // 2, D // 2 + 1
+    assert benchmark(is_otis_layout_of_de_bruijn, 2, p_prime, q_prime)

@@ -1,0 +1,67 @@
+"""Benchmarks F1–F3 — Figures 1, 2, 3: B(2,3), RRK(2,8) and II(2,8).
+
+The three figures draw the same 8-node digraph under three definitions; the
+benchmarks rebuild each figure's digraph, verify the figure-level facts
+(degree, diameter, loop count, pairwise isomorphism) and time the
+construction + verification path.
+"""
+
+import pytest
+
+from repro.core.isomorphisms import debruijn_to_imase_itoh_isomorphism
+from repro.graphs.generators import de_bruijn, imase_itoh, reddy_raghavan_kuhl
+from repro.graphs.isomorphism import is_isomorphism
+from repro.graphs.properties import diameter
+
+
+@pytest.mark.benchmark(group="figures-1-3")
+def test_figure_1_de_bruijn_2_3(benchmark):
+    def build():
+        graph = de_bruijn(2, 3)
+        return graph, diameter(graph)
+
+    graph, measured_diameter = benchmark(build)
+    assert graph.num_vertices == 8
+    assert graph.degree == 2
+    assert measured_diameter == 3
+    assert graph.num_loops() == 2
+
+
+@pytest.mark.benchmark(group="figures-1-3")
+def test_figure_2_rrk_2_8(benchmark):
+    def build():
+        graph = reddy_raghavan_kuhl(2, 8)
+        return graph, graph.same_arcs(de_bruijn(2, 3))
+
+    graph, same_as_debruijn = benchmark(build)
+    assert graph.num_vertices == 8
+    assert same_as_debruijn  # Remark 2.6
+
+
+@pytest.mark.benchmark(group="figures-1-3")
+def test_figure_3_imase_itoh_2_8(benchmark):
+    def build():
+        graph = imase_itoh(2, 8)
+        mapping = debruijn_to_imase_itoh_isomorphism(2, 3)
+        return graph, is_isomorphism(de_bruijn(2, 3), graph, mapping)
+
+    graph, isomorphic = benchmark(build)
+    assert graph.num_vertices == 8
+    assert diameter(graph) == 3
+    assert isomorphic  # Proposition 3.3
+
+
+@pytest.mark.benchmark(group="figures-1-3")
+def test_figures_1_3_larger_instances_scaling(benchmark):
+    """Same three-way identification at a size with practical relevance (2^10)."""
+
+    def build():
+        d, D = 2, 10
+        B = de_bruijn(d, D)
+        RRK = reddy_raghavan_kuhl(d, d**D)
+        II = imase_itoh(d, d**D)
+        mapping = debruijn_to_imase_itoh_isomorphism(d, D)
+        return B.same_arcs(RRK), is_isomorphism(B, II, mapping)
+
+    same, isomorphic = benchmark(build)
+    assert same and isomorphic

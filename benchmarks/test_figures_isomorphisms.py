@@ -1,0 +1,77 @@
+"""Benchmarks F4, F5, X1, X2 — Figures 4 and 5, Examples 3.3.1 and 3.3.2.
+
+* F4 / X1: the cyclic permutation of Example 3.3.1 on ``Z_6``, its
+  conjugating permutation ``g`` (Figure 4) and the resulting isomorphism
+  ``A(f, Id, 2) ≅ B(d, 6)``.
+* F5 / X2: the non-cyclic permutation of Example 3.3.2 and the decomposition
+  of ``A(f, Id, 1)`` into ``C_2 ⊗ B(2,1)`` plus two ``C_1 ⊗ B(2,1)``
+  components (Figure 5).
+"""
+
+import pytest
+
+from repro.core.alphabet_digraph import AlphabetDigraphSpec
+from repro.core.components import component_structure, decompose_non_cyclic
+from repro.core.isomorphisms import debruijn_to_alphabet_isomorphism, g_permutation
+from repro.graphs.generators import de_bruijn
+from repro.graphs.isomorphism import is_isomorphism
+from repro.permutations import Permutation, identity
+
+EXAMPLE_331_F = Permutation([3, 4, 5, 2, 0, 1])
+EXAMPLE_332_F = Permutation([2, 1, 0])
+
+
+@pytest.mark.benchmark(group="figures-4-5")
+def test_figure_4_g_permutation(benchmark):
+    g = benchmark(g_permutation, EXAMPLE_331_F, 2)
+    # Figure 4: g(0)=2, g(1)=5, g(2)=1, g(3)=4, g(4)=0, g(5)=3
+    assert g.as_tuple() == (2, 5, 1, 4, 0, 3)
+
+
+@pytest.mark.benchmark(group="figures-4-5")
+def test_example_3_3_1_isomorphism_d2(benchmark):
+    spec = AlphabetDigraphSpec(d=2, D=6, f=EXAMPLE_331_F, sigma=identity(2), j=2)
+
+    def build_and_verify():
+        mapping = debruijn_to_alphabet_isomorphism(spec)
+        return is_isomorphism(de_bruijn(2, 6), spec.build(), mapping)
+
+    assert benchmark(build_and_verify)
+
+
+@pytest.mark.benchmark(group="figures-4-5")
+def test_example_3_3_1_isomorphism_d3(benchmark, once):
+    """The example holds for any degree; run it at d=3 (729 vertices)."""
+    spec = AlphabetDigraphSpec(d=3, D=6, f=EXAMPLE_331_F, sigma=identity(3), j=2)
+
+    def build_and_verify():
+        mapping = debruijn_to_alphabet_isomorphism(spec)
+        return is_isomorphism(de_bruijn(3, 6), spec.build(), mapping)
+
+    assert once(benchmark, build_and_verify)
+
+
+@pytest.mark.benchmark(group="figures-4-5")
+def test_figure_5_component_structure(benchmark):
+    spec = AlphabetDigraphSpec(d=2, D=3, f=EXAMPLE_332_F, sigma=identity(2), j=1)
+    report = benchmark(component_structure, spec)
+    assert not report.is_connected
+    assert report.component_sizes == (2, 2, 4)
+
+
+@pytest.mark.benchmark(group="figures-4-5")
+def test_figure_5_decomposition(benchmark):
+    spec = AlphabetDigraphSpec(d=2, D=3, f=EXAMPLE_332_F, sigma=identity(2), j=1)
+    factors = benchmark(decompose_non_cyclic, spec)
+    summary = sorted((f.debruijn_dimension, f.circuit_length) for f in factors)
+    assert summary == [(1, 1), (1, 1), (1, 2)]
+    assert all(f.certified for f in factors)
+
+
+@pytest.mark.benchmark(group="figures-4-5")
+def test_figure_5_decomposition_d3(benchmark, once):
+    """Remark 3.10 at d=3: the same non-cyclic f on 27 vertices."""
+    spec = AlphabetDigraphSpec(d=3, D=3, f=EXAMPLE_332_F, sigma=identity(3), j=1)
+    factors = once(benchmark, decompose_non_cyclic, spec)
+    assert sum(f.size for f in factors) == 27
+    assert all(f.certified for f in factors)

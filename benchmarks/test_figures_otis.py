@@ -1,0 +1,57 @@
+"""Benchmarks F6, F7, F8 — Figures 6, 7 and 8: the OTIS wiring and H(4,8,2).
+
+* F6: ``OTIS(3, 6)`` — the wiring drawn in Figure 6 (18 one-to-one beams,
+  9 lenses, bijective transpose connection).
+* F7: ``H(4, 8, 2)`` — the transmitter/receiver wiring of Figure 7.
+* F8: ``B(2, 4)`` relabelled with the ``H(4, 8, 2)`` adjacency of Figure 8,
+  via the constructive isomorphism of Corollary 4.2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.checks import otis_alphabet_spec
+from repro.core.isomorphisms import debruijn_to_alphabet_isomorphism
+from repro.graphs.generators import de_bruijn
+from repro.graphs.isomorphism import is_isomorphism
+from repro.graphs.properties import diameter
+from repro.otis.architecture import OTISArchitecture
+from repro.otis.h_digraph import h_digraph
+
+
+@pytest.mark.benchmark(group="figures-6-8")
+def test_figure_6_otis_3_6_wiring(benchmark):
+    def build():
+        otis = OTISArchitecture(3, 6)
+        return otis, otis.connection_array()
+
+    otis, wiring = benchmark(build)
+    assert otis.num_lenses == 9
+    assert otis.num_transmitters == 18
+    assert sorted(wiring.tolist()) == list(range(18))
+    assert otis.receiver_of(0, 0) == (5, 2)
+
+
+@pytest.mark.benchmark(group="figures-6-8")
+def test_figure_7_h_4_8_2_wiring(benchmark):
+    graph = benchmark(h_digraph, 4, 8, 2)
+    assert graph.num_vertices == 16
+    assert graph.degree == 2
+    # Figure 7/8 adjacency: 0000 -> {1101, 1111}
+    assert set(graph.out_neighbors(0)) == {13, 15}
+    assert np.all(graph.in_degrees() == 2)
+
+
+@pytest.mark.benchmark(group="figures-6-8")
+def test_figure_8_debruijn_labelling_of_h_4_8_2(benchmark):
+    def build():
+        spec = otis_alphabet_spec(2, 2, 3)
+        mapping = debruijn_to_alphabet_isomorphism(spec)
+        H = h_digraph(4, 8, 2)
+        return H, mapping, is_isomorphism(de_bruijn(2, 4), H, mapping)
+
+    H, mapping, ok = benchmark(build)
+    assert ok
+    assert diameter(H) == 4
+    # the mapping is a genuine relabelling of all 16 vertices
+    assert sorted(mapping.tolist()) == list(range(16))

@@ -1,0 +1,64 @@
+"""Benchmarks P32, P39 — constructive isomorphism scaling (Propositions 3.2, 3.9).
+
+The paper's isomorphisms are explicit vertex bijections; these benchmarks
+measure the cost of *building and verifying* them as the digraph grows
+(n = d^D up to 4096 vertices), for random alphabet permutations (Prop 3.2)
+and random cyclic index permutations (Prop 3.9).  Each run asserts the
+bijection really is an isomorphism — the reproduction claim — so the timing
+covers construction plus full arc-multiset verification.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.alphabet_digraph import AlphabetDigraphSpec, b_sigma
+from repro.core.isomorphisms import (
+    debruijn_to_alphabet_isomorphism,
+    prop_3_2_isomorphism,
+)
+from repro.graphs.generators import de_bruijn
+from repro.graphs.isomorphism import is_isomorphism
+from repro.permutations import random_cyclic_permutation, random_permutation
+
+
+@pytest.mark.benchmark(group="prop-3-2")
+@pytest.mark.parametrize("d,D", [(2, 6), (2, 10), (2, 12), (4, 5)])
+def test_prop_3_2_construct_and_verify(benchmark, once, d, D):
+    rng = np.random.default_rng(D)
+    sigma = random_permutation(d, rng)
+
+    def build_and_verify():
+        mapping = prop_3_2_isomorphism(d, D, sigma)
+        return is_isomorphism(b_sigma(d, D, sigma), de_bruijn(d, D), mapping)
+
+    assert once(benchmark, build_and_verify)
+
+
+@pytest.mark.benchmark(group="prop-3-2")
+@pytest.mark.parametrize("d,D", [(2, 10), (2, 14), (2, 18)])
+def test_prop_3_2_mapping_only(benchmark, d, D):
+    """Just the bijection W (no graph construction): stays fast up to 2^18."""
+    rng = np.random.default_rng(D)
+    sigma = random_permutation(d, rng)
+    mapping = benchmark(prop_3_2_isomorphism, d, D, sigma)
+    assert sorted(np.unique(mapping)) == list(range(d**D))[: len(np.unique(mapping))]
+    assert len(np.unique(mapping)) == d**D
+
+
+@pytest.mark.benchmark(group="prop-3-9")
+@pytest.mark.parametrize("d,D", [(2, 6), (2, 10), (2, 12), (3, 7)])
+def test_prop_3_9_construct_and_verify(benchmark, once, d, D):
+    rng = np.random.default_rng(D)
+    spec = AlphabetDigraphSpec(
+        d=d,
+        D=D,
+        f=random_cyclic_permutation(D, rng),
+        sigma=random_permutation(d, rng),
+        j=int(rng.integers(D)),
+    )
+
+    def build_and_verify():
+        mapping = debruijn_to_alphabet_isomorphism(spec)
+        return is_isomorphism(de_bruijn(d, D), spec.build(), mapping)
+
+    assert once(benchmark, build_and_verify)

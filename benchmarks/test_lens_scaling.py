@@ -1,0 +1,61 @@
+"""Benchmark C44 — Corollary 4.4: Θ(√n) lenses versus the O(n) baseline.
+
+The paper's quantitative claim: the de Bruijn digraph ``B(d, D)`` (even
+``D``) has an OTIS layout with ``p + q = (1 + d)·√n`` lenses, whereas the
+previously known layout through the Imase–Itoh digraph needs ``d + n``.
+These benchmarks build the actual layouts (with their explicit node→
+transceiver assignments, not just the counts) across a diameter sweep and
+assert the scaling shape: constant normalised lens count for the new layout,
+linear growth for the baseline, and a saving ratio that grows like √n.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.lens_count import lens_scaling_study
+from repro.otis.layout import imase_itoh_layout, optimal_debruijn_layout
+
+
+@pytest.mark.benchmark(group="lens-scaling")
+def test_lens_scaling_study_even_diameters(benchmark):
+    rows = benchmark(lens_scaling_study, 2, [2, 4, 6, 8, 10, 12, 14, 16])
+    for row in rows:
+        assert row.lenses_optimal == 3 * 2 ** (row.D // 2)
+        assert row.lenses_imase_itoh == 2 + 2**row.D
+        assert row.normalised == pytest.approx(3.0)
+    ratios = [row.ratio for row in rows]
+    assert ratios == sorted(ratios)
+    # the ratio grows like sqrt(n)/3
+    last = rows[-1]
+    assert last.ratio == pytest.approx(math.sqrt(last.n) / 3, rel=0.05)
+
+
+@pytest.mark.benchmark(group="lens-scaling")
+@pytest.mark.parametrize("D", [4, 6, 8])
+def test_optimal_layout_construction_cost(benchmark, D):
+    """Time to construct and verify the full Θ(√n)-lens layout of B(2, D)."""
+
+    def build():
+        layout = optimal_debruijn_layout(2, D)
+        return layout, layout.verify()
+
+    layout, verified = benchmark(build)
+    assert verified
+    assert layout.num_lenses == 3 * 2 ** (D // 2)
+
+
+@pytest.mark.benchmark(group="lens-scaling")
+@pytest.mark.parametrize("D", [4, 6, 8])
+def test_baseline_imase_itoh_layout_cost(benchmark, D):
+    """The O(n)-lens baseline layout of the same network size."""
+
+    def build():
+        layout = imase_itoh_layout(2, 2**D)
+        return layout, layout.verify()
+
+    layout, verified = benchmark(build)
+    assert verified
+    assert layout.num_lenses == 2 + 2**D
+    # the paper's improvement factor at this size
+    assert layout.num_lenses / (3 * 2 ** (D // 2)) > 1

@@ -1,0 +1,84 @@
+"""Benchmark A2 — extension study: collectives on OTIS-laid-out topologies.
+
+The paper contains no runtime experiments; this ablation uses the simulator
+substrate to quantify why de Bruijn-like topologies are worth laying out
+optically: broadcast and gossip complete in ``D = log_d n`` rounds and random
+traffic traverses ``O(log n)`` hops, versus ``Θ(n)`` rounds / hops on a ring
+with the same per-node link count.  Shape assertions encode those claims.
+"""
+
+import pytest
+
+from repro.graphs.generators import de_bruijn, kautz, ring
+from repro.graphs.properties import diameter
+from repro.routing.broadcast import (
+    all_port_broadcast_schedule,
+    single_port_broadcast_schedule,
+)
+from repro.routing.gossip import all_port_gossip_schedule
+from repro.simulation import LinkModel, run_random_traffic
+
+LINK = LinkModel(latency=1.0, transmission_time=0.1)
+
+
+@pytest.mark.benchmark(group="simulation")
+@pytest.mark.parametrize(
+    "name,graph",
+    [
+        ("debruijn", de_bruijn(2, 6)),
+        ("kautz", kautz(2, 6)),
+        ("ring", ring(64)),
+    ],
+)
+def test_random_traffic(benchmark, once, name, graph):
+    stats = once(
+        benchmark, run_random_traffic, graph, 400, link=LINK, seed=13
+    )
+    assert stats.delivered == 400
+    assert stats.mean_hops <= diameter(graph)
+    if name in ("debruijn", "kautz"):
+        assert stats.mean_hops < 7  # logarithmic topologies
+    else:
+        assert stats.mean_hops > 10  # the ring pays Θ(n) hops
+
+
+@pytest.mark.benchmark(group="simulation")
+@pytest.mark.parametrize(
+    "name,graph,expected_rounds",
+    [
+        ("debruijn", de_bruijn(2, 6), 6),
+        ("kautz", kautz(2, 6), 6),
+        ("ring", ring(64), 32),
+    ],
+)
+def test_all_port_broadcast(benchmark, name, graph, expected_rounds):
+    schedule = benchmark(all_port_broadcast_schedule, graph, 0)
+    assert schedule.covers_all()
+    assert schedule.num_rounds == expected_rounds
+
+
+@pytest.mark.benchmark(group="simulation")
+@pytest.mark.parametrize(
+    "name,graph",
+    [("debruijn", de_bruijn(2, 6)), ("kautz", kautz(2, 6))],
+)
+def test_single_port_broadcast(benchmark, name, graph):
+    schedule = benchmark(single_port_broadcast_schedule, graph, 0)
+    assert schedule.covers_all()
+    # single-port broadcast needs at least log2(n) and at most ~2*D rounds
+    assert 6 <= schedule.num_rounds <= 2 * 6 + 2
+
+
+@pytest.mark.benchmark(group="simulation")
+@pytest.mark.parametrize(
+    "name,graph,expected_rounds",
+    [
+        ("debruijn", de_bruijn(2, 5), 5),
+        ("kautz", kautz(2, 5), 5),
+        ("ring", ring(32), 16),
+    ],
+)
+def test_gossip(benchmark, once, name, graph, expected_rounds):
+    schedule = once(benchmark, all_port_gossip_schedule, graph)
+    assert schedule.completed()
+    assert schedule.num_rounds == expected_rounds

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Simulate workloads on OTIS-laid-out networks (extension study A2).
+
+The paper motivates de Bruijn-like topologies by the multihop optical
+networks built on them.  This script uses the discrete-event simulator to
+compare, for the same number of processors and the optical link model of the
+OTIS hardware substitution:
+
+* the de Bruijn digraph B(2, D) (the paper's layout target),
+* the Kautz digraph of the same diameter (the largest OTIS digraph found by
+  Table 1's search),
+* a bidirectional ring (the low-tech baseline),
+
+under uniform random traffic and one-to-all broadcast.
+
+Run with:  python examples/network_simulation.py [D]
+"""
+
+import sys
+
+from repro.analysis.tables import format_table
+from repro.graphs import de_bruijn, diameter, kautz
+from repro.graphs.generators import ring
+from repro.otis import HardwareModel, optimal_debruijn_layout
+from repro.simulation import LinkModel, run_broadcast, run_random_traffic
+
+
+def main() -> None:
+    D = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    d = 2
+    n = d**D
+
+    hardware = HardwareModel()
+    link = LinkModel.from_hardware(hardware, message_bits=1024, rate_gbps=1.0)
+    print(f"optical link model: latency {link.latency:.2f} ns, "
+          f"transmission {link.transmission_time:.0f} ns per message")
+
+    layout = optimal_debruijn_layout(d, D)
+    print(f"B(2,{D}) optical layout: OTIS({layout.p},{layout.q}), "
+          f"{layout.num_lenses} lenses, verified={layout.verify()}\n")
+
+    topologies = {
+        f"B(2,{D})": de_bruijn(d, D),
+        f"K(2,{D})": kautz(d, D),
+        f"ring({n})": ring(n),
+    }
+
+    rows = []
+    for name, graph in topologies.items():
+        traffic_stats = run_random_traffic(graph, 500, link=link, seed=42)
+        broadcast_stats = run_broadcast(graph, root=0, link=link)
+        rows.append(
+            {
+                "topology": name,
+                "nodes": graph.num_vertices,
+                "diameter": diameter(graph),
+                "mean hops": traffic_stats.mean_hops,
+                "mean latency (ns)": traffic_stats.mean_latency,
+                "makespan (ns)": traffic_stats.makespan,
+                "all-port bcast rounds": broadcast_stats["all_port_rounds"],
+                "1-port bcast rounds": broadcast_stats["single_port_rounds"],
+            }
+        )
+    print(format_table(rows))
+    print("\nThe logarithmic-diameter digraphs deliver traffic in a fraction of"
+          " the ring's hops while the OTIS layout keeps the optics at Θ(√n) lenses.")
+
+
+if __name__ == "__main__":
+    main()

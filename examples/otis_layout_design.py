@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""OTIS layout design space exploration for de Bruijn networks.
+
+For each diameter ``D`` this script enumerates every power-of-``d`` OTIS split
+``(p', q')`` with ``p' + q' - 1 = D`` (the candidates of Corollary 4.2), runs
+the paper's O(D) cyclicity test on each, and prints the lens counts — showing
+both Proposition 4.3 (the exactly balanced split never works for odd ``D>1``)
+and Corollary 4.4 (the near-balanced split always works for even ``D``).
+It then prints the lens-scaling comparison against the previously known
+O(n)-lens layout.
+
+Run with:  python examples/otis_layout_design.py [max_diameter]
+"""
+
+import sys
+
+from repro.analysis.lens_count import lens_scaling_table
+from repro.analysis.tables import format_table
+from repro.core import enumerate_layout_splits, minimal_lens_split
+
+
+def explore_diameter(d: int, D: int) -> None:
+    print(f"\n=== B({d}, {D}) : {d**D} processors ===")
+    rows = []
+    for split in enumerate_layout_splits(d, D):
+        rows.append(
+            {
+                "p'": split.p_prime,
+                "q'": split.q_prime,
+                "p": split.p,
+                "q": split.q,
+                "lenses": split.lenses,
+                "isomorphic to B(d,D)?": "yes" if split.is_layout else "no",
+            }
+        )
+    print(format_table(rows))
+    best = minimal_lens_split(d, D)
+    print(
+        f"optimal split: (p', q') = ({best.p_prime}, {best.q_prime})  ->  "
+        f"{best.lenses} lenses  (O(D^2) search, Corollary 4.6)"
+    )
+
+
+def main() -> None:
+    max_diameter = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    d = 2
+    for D in range(2, max_diameter + 1):
+        explore_diameter(d, D)
+
+    print("\n=== lens scaling: known O(n) layout vs Corollary 4.4/4.6 ===")
+    print(lens_scaling_table(d, [D for D in range(2, max_diameter + 1, 2)]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works with the legacy editable-install path on
+environments that lack the ``wheel`` package (such as the offline test
+environment this reproduction targets).
+"""
+
+from setuptools import setup
+
+setup()

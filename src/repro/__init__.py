@@ -1,0 +1,96 @@
+"""repro — reproduction of *De Bruijn Isomorphisms and Free Space Optical Networks*.
+
+This library reproduces Coudert, Ferreira & Pérennes (IPDPS 2000): the
+isomorphism theory of de Bruijn-like alphabet digraphs and its application to
+optimal OTIS (Optical Transpose Interconnection System) layouts.
+
+Quick tour of the public API (see README.md for a narrative introduction):
+
+* digraph families — :func:`repro.graphs.de_bruijn`, :func:`repro.graphs.kautz`,
+  :func:`repro.graphs.imase_itoh`, :func:`repro.graphs.reddy_raghavan_kuhl`;
+* the paper's generalisations — :func:`repro.core.b_sigma`,
+  :func:`repro.core.alphabet_digraph`, :class:`repro.core.AlphabetDigraphSpec`;
+* constructive isomorphisms — :func:`repro.core.prop_3_2_isomorphism`,
+  :func:`repro.core.prop_3_9_isomorphism`,
+  :func:`repro.core.debruijn_to_alphabet_isomorphism`;
+* OTIS optical layouts — :class:`repro.otis.OTISArchitecture`,
+  :func:`repro.otis.h_digraph`, :func:`repro.otis.optimal_debruijn_layout`;
+* the degree–diameter search of Table 1 — :func:`repro.otis.table1_rows`;
+* routing, broadcast and gossip — :mod:`repro.routing`;
+* the discrete-event network simulator — :mod:`repro.simulation`;
+* analysis helpers — :mod:`repro.analysis`.
+
+>>> from repro.otis import optimal_debruijn_layout
+>>> layout = optimal_debruijn_layout(2, 8)          # B(2, 8): 256 processors
+>>> layout.p, layout.q, layout.num_lenses
+(16, 32, 48)
+>>> layout.verify()
+True
+"""
+
+from repro import analysis, core, graphs, otis, routing, simulation
+from repro.core import (
+    AlphabetDigraphSpec,
+    alphabet_digraph,
+    b_sigma,
+    debruijn_to_alphabet_isomorphism,
+    debruijn_to_imase_itoh_isomorphism,
+    is_otis_layout_of_de_bruijn,
+    minimal_lens_split,
+    prop_3_2_isomorphism,
+    prop_3_9_isomorphism,
+)
+from repro.graphs import (
+    Digraph,
+    RegularDigraph,
+    de_bruijn,
+    diameter,
+    imase_itoh,
+    kautz,
+    reddy_raghavan_kuhl,
+)
+from repro.otis import (
+    OTISArchitecture,
+    OTISLayout,
+    h_digraph,
+    optimal_debruijn_layout,
+    table1_rows,
+)
+from repro.permutations import Permutation
+from repro.version import __version__
+
+__all__ = [
+    "__version__",
+    # subpackages
+    "graphs",
+    "core",
+    "otis",
+    "routing",
+    "simulation",
+    "analysis",
+    # digraph substrate
+    "Digraph",
+    "RegularDigraph",
+    "Permutation",
+    "de_bruijn",
+    "kautz",
+    "imase_itoh",
+    "reddy_raghavan_kuhl",
+    "diameter",
+    # core contribution
+    "AlphabetDigraphSpec",
+    "alphabet_digraph",
+    "b_sigma",
+    "prop_3_2_isomorphism",
+    "prop_3_9_isomorphism",
+    "debruijn_to_imase_itoh_isomorphism",
+    "debruijn_to_alphabet_isomorphism",
+    "is_otis_layout_of_de_bruijn",
+    "minimal_lens_split",
+    # OTIS
+    "OTISArchitecture",
+    "OTISLayout",
+    "h_digraph",
+    "optimal_debruijn_layout",
+    "table1_rows",
+]

@@ -1,0 +1,16 @@
+"""Analysis and reporting helpers: lens scaling, table formatting, paper comparison."""
+
+from repro.analysis.lens_count import (
+    LensScalingRow,
+    lens_scaling_study,
+    lens_scaling_table,
+)
+from repro.analysis.tables import format_table, paper_vs_measured
+
+__all__ = [
+    "LensScalingRow",
+    "lens_scaling_study",
+    "lens_scaling_table",
+    "format_table",
+    "paper_vs_measured",
+]

@@ -1,0 +1,99 @@
+"""Lens-count scaling of de Bruijn OTIS layouts (Corollary 4.4).
+
+The paper's headline application: the previously known layout of ``B(d, D)``
+(through the Imase–Itoh digraph, ref. [14]) uses an ``OTIS(d, n)`` system and
+therefore ``d + n = O(n)`` lenses, while the split of Corollary 4.4 uses
+``d^{D/2} + d^{D/2+1} = Θ(√n)`` lenses.  This module produces the scaling
+table behind benchmark C44: for a sweep of diameters it reports both lens
+counts, the ratio, and the constant ``(p+q)/√n`` which equals exactly
+``1 + d`` for the balanced even-``D`` split (``p + q = (1+d)·d^{D/2}`` and
+``√n = d^{D/2}``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.checks import minimal_lens_split, otis_split_lens_count
+
+__all__ = ["LensScalingRow", "lens_scaling_study", "lens_scaling_table"]
+
+
+@dataclass(frozen=True)
+class LensScalingRow:
+    """One diameter's worth of the lens-scaling comparison.
+
+    Attributes
+    ----------
+    d, D:
+        Degree and diameter of the de Bruijn digraph.
+    n:
+        Number of processors ``d**D``.
+    lenses_imase_itoh:
+        Lenses of the known ``OTIS(d, n)`` layout: ``d + n``.
+    lenses_optimal:
+        Lenses of the paper's best split (Corollary 4.6).
+    p_prime, q_prime:
+        The optimal split exponents.
+    ratio:
+        ``lenses_imase_itoh / lenses_optimal`` — the hardware saving.
+    normalised:
+        ``lenses_optimal / sqrt(n)`` — bounded for even ``D`` (Corollary 4.4).
+    """
+
+    d: int
+    D: int
+    n: int
+    lenses_imase_itoh: int
+    lenses_optimal: int
+    p_prime: int
+    q_prime: int
+    ratio: float
+    normalised: float
+
+    @property
+    def theoretical_constant(self) -> float:
+        """The constant ``1 + d`` achieved by the balanced even-``D`` split."""
+        return 1.0 + self.d
+
+
+def lens_scaling_study(d: int, diameters: list[int]) -> list[LensScalingRow]:
+    """Compare O(n)-lens and Θ(√n)-lens de Bruijn layouts for several diameters."""
+    rows = []
+    for D in diameters:
+        n = d**D
+        split = minimal_lens_split(d, D)
+        optimal = otis_split_lens_count(d, split.p_prime, split.q_prime)
+        baseline = d + n  # OTIS(d, n) through the Imase-Itoh layout
+        rows.append(
+            LensScalingRow(
+                d=d,
+                D=D,
+                n=n,
+                lenses_imase_itoh=baseline,
+                lenses_optimal=optimal,
+                p_prime=split.p_prime,
+                q_prime=split.q_prime,
+                ratio=baseline / optimal,
+                normalised=optimal / math.sqrt(n),
+            )
+        )
+    return rows
+
+
+def lens_scaling_table(d: int, diameters: list[int]) -> str:
+    """Plain-text rendering of :func:`lens_scaling_study` (used by the examples)."""
+    rows = lens_scaling_study(d, diameters)
+    lines = [
+        f"de Bruijn B({d}, D) OTIS layouts: known O(n) lenses vs Corollary 4.4/4.6",
+        f"{'D':>3} {'n':>9} {'II lenses':>10} {'optimal':>8} {'split':>9} "
+        f"{'ratio':>8} {'(p+q)/sqrt(n)':>14}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.D:>3} {row.n:>9} {row.lenses_imase_itoh:>10} {row.lenses_optimal:>8} "
+            f"{('(' + str(row.p_prime) + ',' + str(row.q_prime) + ')'):>9} "
+            f"{row.ratio:>8.1f} {row.normalised:>14.3f}"
+        )
+    return "\n".join(lines)

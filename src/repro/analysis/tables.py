@@ -1,0 +1,75 @@
+"""Small reporting helpers used by the examples, benchmarks and EXPERIMENTS.md.
+
+Nothing here is scientific: :func:`format_table` renders rows of dictionaries
+as aligned plain text (no external dependency on tabulate), and
+:func:`paper_vs_measured` lines up a paper-reported quantity with the value
+this reproduction measures, computing the relative deviation when both are
+numeric.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "paper_vs_measured"]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None
+) -> str:
+    """Render a list of dictionaries as an aligned plain-text table.
+
+    Column order is taken from ``columns`` when given, otherwise from the keys
+    of the first row.  Floats are shown with 4 significant digits.
+    """
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    rendered = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(line[i].rjust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def paper_vs_measured(
+    name: str, paper_value: object, measured_value: object
+) -> dict[str, object]:
+    """One comparison row for EXPERIMENTS.md-style reporting.
+
+    When both values are numeric the relative deviation
+    ``|measured - paper| / |paper|`` is included (``0`` when the paper value
+    is zero and they agree, ``inf`` otherwise).
+    """
+    row: dict[str, object] = {
+        "quantity": name,
+        "paper": paper_value,
+        "measured": measured_value,
+    }
+    if isinstance(paper_value, (int, float)) and isinstance(
+        measured_value, (int, float)
+    ):
+        if paper_value == 0:
+            row["relative_deviation"] = 0.0 if measured_value == 0 else float("inf")
+        else:
+            row["relative_deviation"] = abs(measured_value - paper_value) / abs(
+                paper_value
+            )
+        row["match"] = paper_value == measured_value
+    else:
+        row["match"] = paper_value == measured_value
+    return row

@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the reproduction's main entry points without writing any Python:
+
+* ``layout``  — compute the lens-optimal OTIS layout of ``B(d, D)``
+  (Corollaries 4.4 / 4.6) and optionally dump the node→transceiver table,
+* ``check``   — the O(D) isomorphism test of Corollary 4.5 for a given split,
+* ``splits``  — the whole design space of splits for one diameter,
+* ``table1``  — regenerate a block of Table 1 and compare with the paper,
+* ``figure``  — emit a DOT rendering of one of the paper's figure digraphs.
+
+Each subcommand prints plain text to stdout and exits non-zero on failure, so
+the CLI can be scripted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.tables import format_table
+from repro.core.checks import enumerate_layout_splits, is_otis_layout_of_de_bruijn
+from repro.graphs.drawing import adjacency_listing, otis_wiring_dot, to_dot
+from repro.graphs.generators import de_bruijn, imase_itoh, kautz, reddy_raghavan_kuhl
+from repro.otis.layout import optimal_debruijn_layout
+from repro.otis.search import PAPER_TABLE1, compare_with_paper, table1_rows
+from repro.version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="De Bruijn isomorphisms and free space optical networks "
+        "(IPDPS 2000) — reproduction CLI",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    layout = sub.add_parser("layout", help="optimal OTIS layout of B(d, D)")
+    layout.add_argument("-d", type=int, default=2, help="degree (alphabet size)")
+    layout.add_argument("-D", type=int, required=True, help="diameter (word length)")
+    layout.add_argument(
+        "--assignments",
+        action="store_true",
+        help="also print the per-processor transceiver assignment",
+    )
+
+    check = sub.add_parser("check", help="O(D) layout test (Corollary 4.5)")
+    check.add_argument("-d", type=int, default=2)
+    check.add_argument("--p-prime", type=int, required=True)
+    check.add_argument("--q-prime", type=int, required=True)
+
+    splits = sub.add_parser("splits", help="all splits for one diameter")
+    splits.add_argument("-d", type=int, default=2)
+    splits.add_argument("-D", type=int, required=True)
+
+    table = sub.add_parser("table1", help="regenerate a Table 1 block")
+    table.add_argument("diameter", type=int, choices=sorted(PAPER_TABLE1))
+    table.add_argument(
+        "--full", action="store_true", help="full sweep instead of printed rows only"
+    )
+
+    figure = sub.add_parser("figure", help="emit a figure digraph as DOT / text")
+    figure.add_argument(
+        "which",
+        choices=["1", "2", "3", "5", "6", "7", "8"],
+        help="paper figure number",
+    )
+    figure.add_argument(
+        "--format", choices=["dot", "text"], default="dot", help="output format"
+    )
+    return parser
+
+
+def _cmd_layout(args: argparse.Namespace) -> int:
+    layout = optimal_debruijn_layout(args.d, args.D)
+    print(f"B({args.d},{args.D}): {layout.num_nodes} processors")
+    print(f"layout: OTIS({layout.p},{layout.q}), {layout.num_lenses} lenses")
+    print(f"verified: {layout.verify()}")
+    if args.assignments:
+        rows = []
+        for node in range(layout.num_nodes):
+            assignment = layout.node_assignment(node)
+            rows.append(
+                {
+                    "node": node,
+                    "word": "".join(map(str, layout.graph.label_of(node))),
+                    "transmitters": assignment.transmitters,
+                    "receivers": assignment.receivers,
+                }
+            )
+        print(format_table(rows))
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    verdict = is_otis_layout_of_de_bruijn(args.d, args.p_prime, args.q_prime)
+    D = args.p_prime + args.q_prime - 1
+    print(
+        f"H({args.d}^{args.p_prime}, {args.d}^{args.q_prime}, {args.d}) "
+        f"{'IS' if verdict else 'is NOT'} isomorphic to B({args.d},{D})"
+    )
+    return 0 if verdict else 1
+
+
+def _cmd_splits(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "p'": s.p_prime,
+            "q'": s.q_prime,
+            "p": s.p,
+            "q": s.q,
+            "lenses": s.lenses,
+            "layout": "yes" if s.is_layout else "no",
+        }
+        for s in enumerate_layout_splits(args.d, args.D)
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    result = table1_rows(args.diameter, printed_rows_only=not args.full)
+    print(result.as_table())
+    report = compare_with_paper(result)
+    print(f"all printed rows reproduced: {report['all_match']}")
+    return 0 if report["all_match"] else 1
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    graphs = {
+        "1": de_bruijn(2, 3),
+        "2": reddy_raghavan_kuhl(2, 8),
+        "3": imase_itoh(2, 8),
+        "7": None,  # handled below (OTIS wiring of H(4,8,2))
+        "8": de_bruijn(2, 4),
+    }
+    if args.which == "6":
+        print(otis_wiring_dot(3, 6) if args.format == "dot" else _otis_text(3, 6))
+        return 0
+    if args.which == "7":
+        print(otis_wiring_dot(4, 8) if args.format == "dot" else _otis_text(4, 8))
+        return 0
+    if args.which == "5":
+        from repro.core.alphabet_digraph import alphabet_digraph
+        from repro.permutations import Permutation, identity
+
+        graph = alphabet_digraph(2, 3, Permutation([2, 1, 0]), identity(2), 1)
+    else:
+        graph = graphs[args.which]
+    print(to_dot(graph) if args.format == "dot" else adjacency_listing(graph))
+    return 0
+
+
+def _otis_text(p: int, q: int) -> str:
+    from repro.graphs.drawing import otis_wiring_text
+
+    return otis_wiring_text(p, q)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "layout": _cmd_layout,
+        "check": _cmd_check,
+        "splits": _cmd_splits,
+        "table1": _cmd_table1,
+        "figure": _cmd_figure,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""The paper's primary contribution: de Bruijn isomorphisms.
+
+This package implements Section 3 ("Alternative definition of ``B(d, D)`` as
+a digraph on alphabet") and the structural halves of Section 4:
+
+* :mod:`repro.core.alphabet_digraph` — the digraph families ``B_sigma(d, D)``
+  (Definition 3.1) and ``A(f, sigma, j)`` (Definition 3.7),
+* :mod:`repro.core.isomorphisms` — the *constructive* isomorphisms of
+  Propositions 3.2, 3.3 and 3.9 (explicit vertex bijections, not mere
+  yes/no answers), plus the enumeration of the ``d!(D-1)!`` alternative
+  de Bruijn definitions,
+* :mod:`repro.core.components` — the decomposition of non-cyclic alphabet
+  digraphs into conjunctions of de Bruijn digraphs and circuits
+  (Remark 3.10, Example 3.3.2),
+* :mod:`repro.core.checks` — the ``O(D)`` OTIS-layout isomorphism test of
+  Corollary 4.5 and the ``O(D^2)`` lens minimisation of Corollary 4.6.
+"""
+
+from repro.core.alphabet_digraph import (
+    AlphabetDigraphSpec,
+    alphabet_digraph,
+    b_sigma,
+    debruijn_spec,
+    imase_itoh_spec,
+)
+from repro.core.checks import (
+    LensSplit,
+    balanced_split_is_layout,
+    enumerate_layout_splits,
+    is_otis_layout_of_de_bruijn,
+    minimal_lens_split,
+    otis_alphabet_spec,
+    otis_split_lens_count,
+    prop_4_1_index_permutation,
+)
+from repro.core.components import component_structure, decompose_non_cyclic
+from repro.core.isomorphisms import (
+    count_alternative_definitions,
+    debruijn_to_alphabet_isomorphism,
+    debruijn_to_imase_itoh_isomorphism,
+    g_permutation,
+    prop_3_2_isomorphism,
+    prop_3_9_isomorphism,
+)
+
+__all__ = [
+    "AlphabetDigraphSpec",
+    "alphabet_digraph",
+    "b_sigma",
+    "debruijn_spec",
+    "imase_itoh_spec",
+    "prop_3_2_isomorphism",
+    "prop_3_9_isomorphism",
+    "debruijn_to_imase_itoh_isomorphism",
+    "debruijn_to_alphabet_isomorphism",
+    "g_permutation",
+    "count_alternative_definitions",
+    "component_structure",
+    "decompose_non_cyclic",
+    "is_otis_layout_of_de_bruijn",
+    "minimal_lens_split",
+    "otis_alphabet_spec",
+    "otis_split_lens_count",
+    "prop_4_1_index_permutation",
+    "LensSplit",
+    "balanced_split_is_layout",
+    "enumerate_layout_splits",
+]

@@ -1,0 +1,219 @@
+"""Alphabet digraphs ``B_sigma(d, D)`` and ``A(f, sigma, j)``.
+
+Section 3 of the paper generalises the de Bruijn adjacency in two steps:
+
+1. **Permutation on the alphabet** (Definition 3.1).  For a permutation
+   ``sigma`` of ``Z_d``, the digraph ``B_sigma(d, D)`` has
+
+   ``Γ⁺(x_{D-1} … x_0) = { sigma(x_{D-2}) … sigma(x_0) λ  :  λ ∈ Z_d }``.
+
+2. **Permutation on the indices** (Definition 3.7).  For a permutation ``f``
+   of ``Z_D``, a permutation ``sigma`` of ``Z_d`` and a position
+   ``j ∈ Z_D``, the digraph ``A(f, sigma, j)`` on vertex set ``Z_d^D`` has
+
+   ``Γ⁺(x) = sigma(→f(x)) + Z_d · e_j``
+
+   where ``→f`` is the linear map sending basis vector ``e_i`` to
+   ``e_{f(i)}`` (the letter at position ``i`` moves to position ``f(i)``),
+   ``sigma`` acts letter-wise, and the letter at position ``j`` is then
+   replaced by an arbitrary letter.
+
+Remark 3.8 identifies the classical de Bruijn digraph with
+``A(rho, Id, 0)`` where ``rho : i ↦ i+1 (mod D)``, and ``B_sigma(d, D)`` with
+``A(rho, sigma, 0)``.
+
+All constructions here are fully vectorised: the ``(n, D)`` digit table of
+every vertex is built once with :func:`repro.words.word_table`, the column
+permutation and alphabet permutation are applied to the whole table, and the
+successor matrix is obtained with one radix conversion per out-going slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.digraph import RegularDigraph
+from repro.permutations import Permutation, identity, rotation
+from repro.words import check_alphabet, word_table, words_to_ints
+
+__all__ = [
+    "AlphabetDigraphSpec",
+    "b_sigma",
+    "alphabet_digraph",
+    "debruijn_spec",
+    "imase_itoh_spec",
+    "apply_position_permutation",
+    "apply_alphabet_permutation",
+]
+
+
+@dataclass(frozen=True)
+class AlphabetDigraphSpec:
+    """A complete description of an alphabet digraph ``A(f, sigma, j)``.
+
+    Attributes
+    ----------
+    d:
+        Alphabet size (out-degree of the digraph).
+    D:
+        Word length (the digraph's *dimension*; equal to the diameter when the
+        digraph is isomorphic to ``B(d, D)``).
+    f:
+        Permutation of the word indices ``Z_D``.
+    sigma:
+        Permutation of the alphabet ``Z_d``.
+    j:
+        The freed position in ``Z_D``.
+    """
+
+    d: int
+    D: int
+    f: Permutation
+    sigma: Permutation
+    j: int
+
+    def __post_init__(self) -> None:
+        check_alphabet(self.d, self.D)
+        if self.f.n != self.D:
+            raise ValueError(
+                f"index permutation acts on Z_{self.f.n}, expected Z_{self.D}"
+            )
+        if self.sigma.n != self.d:
+            raise ValueError(
+                f"alphabet permutation acts on Z_{self.sigma.n}, expected Z_{self.d}"
+            )
+        if not 0 <= self.j < self.D:
+            raise ValueError(f"position j={self.j} out of range for Z_{self.D}")
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``d**D``."""
+        return self.d**self.D
+
+    def is_debruijn_isomorphic(self) -> bool:
+        """Proposition 3.9: true exactly when ``f`` is a cyclic permutation."""
+        return self.f.is_cyclic()
+
+    def build(self) -> RegularDigraph:
+        """Construct the digraph described by this spec."""
+        return alphabet_digraph(self.d, self.D, self.f, self.sigma, self.j)
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        kind = "cyclic" if self.f.is_cyclic() else "non-cyclic"
+        return (
+            f"A(f, sigma, {self.j}) with d={self.d}, D={self.D}, "
+            f"f={self.f.as_tuple()} ({kind}), sigma={self.sigma.as_tuple()}"
+        )
+
+
+def debruijn_spec(d: int, D: int) -> AlphabetDigraphSpec:
+    """The spec of the classical de Bruijn digraph: ``A(rho, Id, 0)`` (Remark 3.8)."""
+    return AlphabetDigraphSpec(d=d, D=D, f=rotation(D), sigma=identity(d), j=0)
+
+
+def imase_itoh_spec(d: int, D: int) -> AlphabetDigraphSpec:
+    """The spec whose integer-labelled digraph equals ``II(d, d**D)``.
+
+    By the proof of Proposition 3.3, ``II(d, d**D)`` is ``B_C(d, D)`` where
+    ``C`` is the complement permutation, i.e. ``A(rho, C, 0)``.
+    """
+    from repro.permutations import complement
+
+    return AlphabetDigraphSpec(d=d, D=D, f=rotation(D), sigma=complement(d), j=0)
+
+
+def apply_position_permutation(table: np.ndarray, f: Permutation) -> np.ndarray:
+    """Apply the linear map ``→f`` to every row of an ``(n, D)`` digit table.
+
+    Column ``c`` of the table holds position ``D-1-c`` (most significant digit
+    first); the letter at position ``i`` of the input appears at position
+    ``f(i)`` of the output.
+    """
+    D = table.shape[1]
+    if f.n != D:
+        raise ValueError("permutation size does not match word length")
+    out = np.empty_like(table)
+    for position in range(D):
+        out[:, D - 1 - f(position)] = table[:, D - 1 - position]
+    return out
+
+
+def apply_alphabet_permutation(table: np.ndarray, sigma: Permutation) -> np.ndarray:
+    """Apply ``sigma`` letter-wise to every entry of a digit table (Definition 3.6)."""
+    return sigma.apply_array(table)
+
+
+def b_sigma(d: int, D: int, sigma: Permutation) -> RegularDigraph:
+    """The digraph ``B_sigma(d, D)`` of Definition 3.1.
+
+    ``Γ⁺(x_{D-1} … x_0) = { sigma(x_{D-2}) … sigma(x_0) λ : λ ∈ Z_d }``.
+    With ``sigma`` the identity this is exactly ``B(d, D)``; with ``sigma``
+    the complement permutation it is (as an integer-labelled digraph) the
+    Imase–Itoh digraph ``II(d, d**D)`` (Proposition 3.3).
+
+    Vertices are labelled by their length-``D`` words.
+    """
+    check_alphabet(d, D)
+    if sigma.n != d:
+        raise ValueError("sigma must permute Z_d")
+    return alphabet_digraph(d, D, rotation(D), sigma, 0, name=f"B_sigma({d},{D})")
+
+
+def alphabet_digraph(
+    d: int,
+    D: int,
+    f: Permutation,
+    sigma: Permutation,
+    j: int,
+    name: str | None = None,
+) -> RegularDigraph:
+    """The alphabet digraph ``A(f, sigma, j)`` of Definition 3.7.
+
+    Parameters
+    ----------
+    d, D:
+        Alphabet size and word length; the digraph has ``d**D`` vertices and
+        constant out-degree ``d``.
+    f:
+        Permutation of ``Z_D`` replacing the de Bruijn left shift.
+    sigma:
+        Permutation of ``Z_d`` applied letter-wise after ``→f``.
+    j:
+        The position whose letter is replaced by an arbitrary letter of
+        ``Z_d``.
+    name:
+        Optional digraph name; a descriptive default is generated.
+
+    Returns
+    -------
+    RegularDigraph
+        Out-degree ``d`` digraph on ``d**D`` vertices, labelled by words.
+
+    Notes
+    -----
+    By Proposition 3.9 the result is isomorphic to ``B(d, D)`` iff ``f`` is
+    cyclic, and otherwise is disconnected (its components are conjunctions of
+    de Bruijn digraphs with circuits, Remark 3.10).
+    """
+    spec = AlphabetDigraphSpec(d=d, D=D, f=f, sigma=sigma, j=int(j))
+    n = spec.num_vertices
+
+    table = word_table(d, D)  # (n, D), column 0 = position D-1
+    shifted = apply_position_permutation(table, f)
+    shifted = apply_alphabet_permutation(shifted, sigma)
+
+    # The letter at position j is replaced by every value of Z_d in turn.
+    column_j = D - 1 - int(j)
+    successors = np.empty((n, d), dtype=np.int64)
+    work = shifted.copy()
+    for letter in range(d):
+        work[:, column_j] = letter
+        successors[:, letter] = words_to_ints(work, d)
+
+    labels = [tuple(int(x) for x in row) for row in table]
+    if name is None:
+        name = f"A(f,sigma,{j})[d={d},D={D}]"
+    return RegularDigraph(successors, name=name, labels=labels)

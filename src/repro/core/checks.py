@@ -1,0 +1,201 @@
+"""Fast structural checks for OTIS layouts of the de Bruijn digraph.
+
+Section 4.4 of the paper turns the isomorphism theory into two small
+algorithms:
+
+* **Corollary 4.5** — deciding whether ``B(d, D)`` and ``H(d^{p'}, d^{q'}, d)``
+  are isomorphic takes ``O(D)`` time: build the index permutation ``f`` of
+  Proposition 4.1 and test whether it is cyclic.  No graph is ever
+  constructed; compare with the generic isomorphism search over ``d**D``
+  vertices benchmarked in ``benchmarks/test_check_complexity.py``.
+
+* **Corollary 4.6** — finding the ``(p', q')`` split that minimises the
+  number of lenses ``d^{p'} + d^{q'}`` takes ``O(D^2)`` time: try the ``D``
+  possible splits, each tested in ``O(D)``.
+
+The paper's structural results are also encoded directly:
+
+* **Proposition 4.1** — ``H(d^{p'}, d^{q'}, d) ≅ A(f, C, p'-1)`` for the
+  explicit ``f`` returned by :func:`prop_4_1_index_permutation`.
+* **Proposition 4.3** — for odd ``D > 1`` the balanced split ``p' = q'``
+  never yields a de Bruijn layout.
+* **Corollary 4.4** — for even ``D`` the split ``p' = D/2``, ``q' = D/2 + 1``
+  always does, giving ``p + q = Θ(√n)`` lenses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alphabet_digraph import AlphabetDigraphSpec
+from repro.permutations import Permutation, complement
+from repro.words import check_alphabet
+
+__all__ = [
+    "prop_4_1_index_permutation",
+    "otis_alphabet_spec",
+    "is_otis_layout_of_de_bruijn",
+    "otis_split_lens_count",
+    "LensSplit",
+    "enumerate_layout_splits",
+    "minimal_lens_split",
+    "balanced_split_is_layout",
+]
+
+
+def prop_4_1_index_permutation(p_prime: int, q_prime: int) -> Permutation:
+    """The index permutation ``f`` of Proposition 4.1.
+
+    For ``D = p' + q' - 1``, the OTIS digraph ``H(d^{p'}, d^{q'}, d)`` is
+    isomorphic to the alphabet digraph ``A(f, C, p'-1)`` with
+
+    ``f(i) = i + p'``            if ``i < q' - 1``,
+    ``f(i) = p' - 1``            if ``i = q' - 1``,
+    ``f(i) = i + p' - 1 (mod D)`` otherwise.
+
+    >>> prop_4_1_index_permutation(2, 3).as_tuple()   # D = 4
+    (2, 3, 1, 0)
+    """
+    if p_prime < 1 or q_prime < 1:
+        raise ValueError("p' and q' must be at least 1")
+    D = p_prime + q_prime - 1
+    mapping = []
+    for i in range(D):
+        if i < q_prime - 1:
+            mapping.append(i + p_prime)
+        elif i == q_prime - 1:
+            mapping.append(p_prime - 1)
+        else:
+            mapping.append((i + p_prime - 1) % D)
+    return Permutation(mapping)
+
+
+def otis_alphabet_spec(d: int, p_prime: int, q_prime: int) -> AlphabetDigraphSpec:
+    """The alphabet digraph spec ``A(f, C, p'-1)`` matching ``H(d^{p'}, d^{q'}, d)``.
+
+    Proposition 4.1 shows the two digraphs are isomorphic (in fact, with the
+    natural labelling used in this library, they coincide as labelled
+    digraphs — the tests verify this).
+    """
+    check_alphabet(d)
+    f = prop_4_1_index_permutation(p_prime, q_prime)
+    D = p_prime + q_prime - 1
+    return AlphabetDigraphSpec(
+        d=d, D=D, f=f, sigma=complement(d), j=p_prime - 1
+    )
+
+
+def is_otis_layout_of_de_bruijn(d: int, p_prime: int, q_prime: int) -> bool:
+    """Corollary 4.2 / 4.5: is ``H(d^{p'}, d^{q'}, d)`` isomorphic to ``B(d, D)``?
+
+    Runs in ``O(D)``: build ``f`` and follow the orbit of one element.  The
+    value of ``d`` does not influence the answer (only ``p'`` and ``q'`` do),
+    but it is kept in the signature for interface symmetry with the layout
+    constructors.
+    """
+    check_alphabet(d)
+    return prop_4_1_index_permutation(p_prime, q_prime).is_cyclic()
+
+
+def otis_split_lens_count(d: int, p_prime: int, q_prime: int) -> int:
+    """Number of lenses ``p + q = d^{p'} + d^{q'}`` of the ``OTIS(d^{p'}, d^{q'})`` system."""
+    check_alphabet(d)
+    if p_prime < 1 or q_prime < 1:
+        raise ValueError("p' and q' must be at least 1")
+    return d**p_prime + d**q_prime
+
+
+@dataclass(frozen=True)
+class LensSplit:
+    """One candidate OTIS split for laying out ``B(d, D)``.
+
+    Attributes
+    ----------
+    d, D:
+        Degree and diameter of the target de Bruijn digraph.
+    p_prime, q_prime:
+        Exponents of the split; the OTIS system is
+        ``OTIS(d^{p'}, d^{q'})`` and ``p' + q' - 1 = D``.
+    lenses:
+        ``d^{p'} + d^{q'}``, the hardware cost the paper minimises.
+    is_layout:
+        True when the split actually yields a digraph isomorphic to
+        ``B(d, D)`` (Corollary 4.2).
+    """
+
+    d: int
+    D: int
+    p_prime: int
+    q_prime: int
+    lenses: int
+    is_layout: bool
+
+    @property
+    def p(self) -> int:
+        """The OTIS parameter ``p = d^{p'}`` (number of transmitter groups)."""
+        return self.d**self.p_prime
+
+    @property
+    def q(self) -> int:
+        """The OTIS parameter ``q = d^{q'}`` (transmitters per group)."""
+        return self.d**self.q_prime
+
+
+def enumerate_layout_splits(d: int, D: int) -> list[LensSplit]:
+    """All splits ``p' + q' - 1 = D`` with ``p', q' >= 1``, each tested in O(D).
+
+    This is the inner loop of Corollary 4.6; the full list is returned so the
+    benchmarks can show the lens-count landscape (Table of Section 4.3 /
+    EXPERIMENTS.md).
+    """
+    check_alphabet(d, D)
+    splits = []
+    for p_prime in range(1, D + 1):
+        q_prime = D + 1 - p_prime
+        splits.append(
+            LensSplit(
+                d=d,
+                D=D,
+                p_prime=p_prime,
+                q_prime=q_prime,
+                lenses=otis_split_lens_count(d, p_prime, q_prime),
+                is_layout=is_otis_layout_of_de_bruijn(d, p_prime, q_prime),
+            )
+        )
+    return splits
+
+
+def minimal_lens_split(d: int, D: int) -> LensSplit:
+    """Corollary 4.6: the valid split minimising ``d^{p'} + d^{q'}``, in ``O(D^2)``.
+
+    For even ``D`` the answer is always ``p' = D/2``, ``q' = D/2 + 1``
+    (Corollary 4.4), giving ``Θ(√n)`` lenses.  For odd ``D > 1`` the balanced
+    split is impossible (Proposition 4.3) and the best valid split is
+    returned; for some odd ``D`` (e.g. ``D = 13``) even the near-balanced
+    split fails and a more skewed one wins.
+
+    Raises
+    ------
+    ValueError
+        If no split yields a de Bruijn layout (never happens for ``D >= 1``
+        since ``p' = D``, ``q' = 1`` — the Imase–Itoh layout — always works).
+    """
+    candidates = [split for split in enumerate_layout_splits(d, D) if split.is_layout]
+    if not candidates:
+        raise ValueError(f"no OTIS layout of B({d},{D}) with power-of-d splits")
+    return min(candidates, key=lambda split: (split.lenses, abs(split.p_prime - split.q_prime)))
+
+
+def balanced_split_is_layout(d: int, D: int) -> bool:
+    """Proposition 4.3 / Corollary 4.4 combined: does the most balanced split work?
+
+    * Even ``D``: checks ``p' = D/2``, ``q' = D/2 + 1`` — always True
+      (Corollary 4.4).
+    * Odd ``D``: checks the exactly balanced ``p' = q' = (D+1)/2`` — True only
+      for ``D = 1`` (Proposition 4.3).
+    """
+    check_alphabet(d, D)
+    if D % 2 == 0:
+        return is_otis_layout_of_de_bruijn(d, D // 2, D // 2 + 1)
+    half = (D + 1) // 2
+    return is_otis_layout_of_de_bruijn(d, half, half)

@@ -1,0 +1,221 @@
+"""Constructive de Bruijn isomorphisms (Propositions 3.2, 3.3 and 3.9).
+
+Every function in this module returns an **explicit vertex bijection** (a
+numpy array ``mapping`` with ``mapping[u]`` the image of vertex ``u``), never
+just a yes/no answer, so that downstream code — the OTIS layout builder, the
+router, the simulator — can relabel processors concretely.  The bijections
+are validated in the test-suite with
+:func:`repro.graphs.isomorphism.is_isomorphism`, which compares full arc
+multisets.
+
+Summary of the constructions
+----------------------------
+
+* **Proposition 3.2** — ``W : B_sigma(d, D) -> B(d, D)`` with
+
+  ``W(x_{D-1} x_{D-2} … x_0) = sigma^0(x_{D-1}) sigma^1(x_{D-2}) … sigma^{D-1}(x_0)``,
+
+  i.e. the letter at position ``i`` (counted from the right) is replaced by
+  ``sigma^{D-1-i}`` of itself.
+
+* **Proposition 3.3** — ``B(d, D) ≅ II(d, d**D)``: the Imase–Itoh digraph is
+  exactly ``B_C(d, D)`` on integer labels (``C`` the complement permutation),
+  so the isomorphism is ``W^{-1}`` specialised to ``sigma = C``.
+
+* **Proposition 3.9** — for cyclic ``f``, ``A(f, sigma, j) ≅ B(d, D)``.
+  The paper's proof goes through the permutation ``g`` of ``Z_D`` defined by
+  ``g(i) = f^i(j)`` and shows that the linear map ``→g`` is an isomorphism
+  from ``B_sigma(d, D)`` onto ``A(f, sigma, j)``.  Composing with
+  Proposition 3.2 yields the full isomorphism from ``B(d, D)``:
+
+  ``Ψ = →g ∘ W^{-1}  :  B(d, D) -> A(f, sigma, j)``.
+
+* **Section 3.2 counting** — there are ``d! (D-1)!`` distinct
+  ``(sigma, f)``-definitions of the de Bruijn digraph;
+  :func:`enumerate_alternative_definitions` iterates over them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.core.alphabet_digraph import (
+    AlphabetDigraphSpec,
+    apply_position_permutation,
+)
+from repro.permutations import (
+    Permutation,
+    all_cyclic_permutations,
+    all_permutations,
+    complement,
+    count_debruijn_definitions,
+)
+from repro.words import check_alphabet, word_table, words_to_ints
+
+__all__ = [
+    "prop_3_2_isomorphism",
+    "prop_3_2_inverse",
+    "debruijn_to_imase_itoh_isomorphism",
+    "g_permutation",
+    "prop_3_9_isomorphism",
+    "debruijn_to_alphabet_isomorphism",
+    "compose_mappings",
+    "invert_mapping",
+    "count_alternative_definitions",
+    "enumerate_alternative_definitions",
+]
+
+
+# --------------------------------------------------------------------------
+# Proposition 3.2: permutation on the alphabet
+# --------------------------------------------------------------------------
+def prop_3_2_isomorphism(d: int, D: int, sigma: Permutation) -> np.ndarray:
+    """The map ``W : B_sigma(d, D) -> B(d, D)`` of Proposition 3.2.
+
+    Returns an array ``mapping`` of length ``d**D`` where ``mapping[u]`` is
+    the integer label of ``W(word(u))``: the letter at position ``i`` of the
+    word of ``u`` is replaced by ``sigma^{D-1-i}`` of itself.
+
+    >>> from repro.permutations import complement
+    >>> W = prop_3_2_isomorphism(2, 2, complement(2))
+    >>> W.tolist()          # word x1 x0 -> x1, C(x0):  00->01, 01->00, ...
+    [1, 0, 3, 2]
+    """
+    check_alphabet(d, D)
+    if sigma.n != d:
+        raise ValueError("sigma must permute Z_d")
+    table = word_table(d, D)  # column c holds position D-1-c
+    out = np.empty_like(table)
+    for position in range(D):
+        power = sigma ** (D - 1 - position)
+        column = D - 1 - position
+        out[:, column] = power.apply_array(table[:, column])
+    return words_to_ints(out, d)
+
+
+def prop_3_2_inverse(d: int, D: int, sigma: Permutation) -> np.ndarray:
+    """The inverse map ``W^{-1} : B(d, D) -> B_sigma(d, D)``."""
+    return invert_mapping(prop_3_2_isomorphism(d, D, sigma))
+
+
+def debruijn_to_imase_itoh_isomorphism(d: int, D: int) -> np.ndarray:
+    """An isomorphism from ``B(d, D)`` onto ``II(d, d**D)`` (Proposition 3.3).
+
+    The Imase–Itoh digraph on integer labels is exactly ``B_C(d, D)`` (proof
+    of Proposition 3.3), so the required bijection is ``W^{-1}`` with
+    ``sigma = C`` (the complement permutation of ``Z_d``).
+    """
+    return prop_3_2_inverse(d, D, complement(d))
+
+
+# --------------------------------------------------------------------------
+# Proposition 3.9: permutation on the indices
+# --------------------------------------------------------------------------
+def g_permutation(f: Permutation, j: int) -> Permutation:
+    """The permutation ``g`` of ``Z_D`` with ``g(i) = f^i(j)`` (Proposition 3.9).
+
+    ``g`` is a well-defined *permutation* exactly when ``f`` is cyclic
+    (its single orbit visits every index); in that case ``g^{-1} f g`` is the
+    rotation ``i -> i+1`` and ``g^{-1}(j) = 0``.  Figure 4 of the paper
+    illustrates ``g`` for Example 3.3.1.
+
+    Raises
+    ------
+    ValueError
+        If ``f`` is not cyclic (then ``i -> f^i(j)`` is not injective).
+    """
+    D = f.n
+    if not 0 <= j < D:
+        raise ValueError(f"position j={j} out of range for Z_{D}")
+    images = []
+    current = int(j)
+    for _ in range(D):
+        images.append(current)
+        current = f(current)
+    if len(set(images)) != D:
+        raise ValueError(
+            "f is not cyclic: g(i) = f^i(j) does not define a permutation "
+            "(Proposition 3.9 does not apply)"
+        )
+    return Permutation(images)
+
+
+def prop_3_9_isomorphism(spec: AlphabetDigraphSpec) -> np.ndarray:
+    """The isomorphism ``→g : B_sigma(d, D) -> A(f, sigma, j)`` of Proposition 3.9.
+
+    ``mapping[u]`` is the image in ``A(f, sigma, j)`` of vertex ``u`` of
+    ``B_sigma(d, D)`` (both identified with integers through their words).
+
+    Raises
+    ------
+    ValueError
+        If ``spec.f`` is not cyclic — by Proposition 3.9 no isomorphism exists
+        (the alphabet digraph is not even connected, Remark 3.10).
+    """
+    g = g_permutation(spec.f, spec.j)
+    table = word_table(spec.d, spec.D)
+    moved = apply_position_permutation(table, g)
+    return words_to_ints(moved, spec.d)
+
+
+def debruijn_to_alphabet_isomorphism(spec: AlphabetDigraphSpec) -> np.ndarray:
+    """The full isomorphism ``Ψ = →g ∘ W^{-1} : B(d, D) -> A(f, sigma, j)``.
+
+    Composes Proposition 3.2 (undo the alphabet permutation) with Proposition
+    3.9 (conjugate the index permutation to the rotation).  The result maps
+    the *standard* de Bruijn digraph ``B(d, D)`` onto the given alphabet
+    digraph; it is the bijection the OTIS layout code uses to assign de
+    Bruijn addresses to transceiver groups.
+    """
+    w_inverse = prop_3_2_inverse(spec.d, spec.D, spec.sigma)
+    g_map = prop_3_9_isomorphism(spec)
+    return compose_mappings(g_map, w_inverse)
+
+
+# --------------------------------------------------------------------------
+# Mapping utilities
+# --------------------------------------------------------------------------
+def compose_mappings(outer: np.ndarray, inner: np.ndarray) -> np.ndarray:
+    """Compose two vertex bijections: ``result[u] = outer[inner[u]]``."""
+    outer = np.asarray(outer, dtype=np.int64)
+    inner = np.asarray(inner, dtype=np.int64)
+    if outer.shape != inner.shape:
+        raise ValueError("mappings must have the same length")
+    return outer[inner]
+
+
+def invert_mapping(mapping: np.ndarray) -> np.ndarray:
+    """Invert a vertex bijection given as an array."""
+    mapping = np.asarray(mapping, dtype=np.int64)
+    n = mapping.shape[0]
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[mapping] = np.arange(n, dtype=np.int64)
+    return inverse
+
+
+# --------------------------------------------------------------------------
+# Counting / enumerating the alternative de Bruijn definitions
+# --------------------------------------------------------------------------
+def count_alternative_definitions(d: int, D: int) -> int:
+    """Number of ``(sigma, f)`` de Bruijn definitions: ``d! (D-1)!`` (Section 3.2)."""
+    return count_debruijn_definitions(d, D)
+
+
+def enumerate_alternative_definitions(
+    d: int, D: int, j: int = 0
+) -> Iterator[AlphabetDigraphSpec]:
+    """Iterate over all ``d!(D-1)!`` specs ``A(f, sigma, j)`` isomorphic to ``B(d, D)``.
+
+    Every yielded spec has a cyclic index permutation ``f`` (so by Proposition
+    3.9 its digraph is isomorphic to the de Bruijn digraph) and a distinct
+    ``(sigma, f)`` pair.  Only use for small ``d`` and ``D`` — the count grows
+    factorially.
+    """
+    check_alphabet(d, D)
+    if not 0 <= j < D:
+        raise ValueError(f"position j={j} out of range for Z_{D}")
+    for sigma in all_permutations(d):
+        for f in all_cyclic_permutations(D):
+            yield AlphabetDigraphSpec(d=d, D=D, f=f, sigma=sigma, j=j)

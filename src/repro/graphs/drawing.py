@@ -1,0 +1,142 @@
+"""Export digraphs and OTIS wirings as Graphviz DOT / plain-text diagrams.
+
+The paper communicates its constructions through eight figures; this module
+regenerates them as artifacts a user can render (``dot -Tpdf``) or read in a
+terminal:
+
+* :func:`to_dot` — any digraph as a DOT string, optionally labelling vertices
+  by their words (Figures 1, 5, 8),
+* :func:`adjacency_listing` — the compact textual adjacency used throughout
+  the tests and examples (Figures 2, 3),
+* :func:`otis_wiring_dot` / :func:`otis_wiring_text` — the bipartite
+  transmitter → receiver wiring of an ``OTIS(p, q)`` system (Figures 6, 7).
+
+Rendering itself is left to Graphviz (not a dependency); everything here is
+pure string generation and is exercised by unit tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.graphs.digraph import BaseDigraph
+
+__all__ = [
+    "to_dot",
+    "adjacency_listing",
+    "otis_wiring_dot",
+    "otis_wiring_text",
+]
+
+
+def _default_label(graph: BaseDigraph) -> Callable[[int], str]:
+    labels = getattr(graph, "labels", None)
+    if labels is None:
+        return lambda u: str(u)
+
+    def label(u: int) -> str:
+        value = labels[u]
+        if isinstance(value, tuple):
+            return "".join(str(int(x)) for x in value)
+        return str(value)
+
+    return label
+
+
+def to_dot(
+    graph: BaseDigraph,
+    name: str | None = None,
+    vertex_label: Callable[[int], str] | None = None,
+    highlight: Sequence[int] | None = None,
+) -> str:
+    """Render a digraph as a Graphviz DOT string.
+
+    Parameters
+    ----------
+    graph:
+        The digraph to render; parallel arcs produce parallel edges.
+    name:
+        Graph name (defaults to the digraph's ``name`` or ``"G"``).
+    vertex_label:
+        Optional function mapping a vertex index to its display label; by
+        default word labels are used when the generator attached them
+        (``B(2,3)`` vertices render as ``000 ... 111``, as in Figure 1).
+    highlight:
+        Optional vertices to draw filled (e.g. one connected component of a
+        non-cyclic alphabet digraph, as in Figure 5).
+    """
+    label = vertex_label or _default_label(graph)
+    graph_name = name or graph.name or "G"
+    highlighted = set(highlight or ())
+    lines = [f'digraph "{graph_name}" {{', "  rankdir=LR;", "  node [shape=circle];"]
+    for u in graph.vertices():
+        attributes = [f'label="{label(u)}"']
+        if u in highlighted:
+            attributes.append('style=filled fillcolor="lightblue"')
+        lines.append(f"  v{u} [{' '.join(attributes)}];")
+    for u, v in graph.arcs():
+        lines.append(f"  v{u} -> v{v};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def adjacency_listing(
+    graph: BaseDigraph, vertex_label: Callable[[int], str] | None = None
+) -> str:
+    """A compact plain-text adjacency listing, one vertex per line.
+
+    ``000 -> 000, 001`` style, matching how the examples print the small
+    figures of the paper.
+    """
+    label = vertex_label or _default_label(graph)
+    lines = []
+    for u in graph.vertices():
+        successors = ", ".join(label(v) for v in graph.out_neighbors(u))
+        lines.append(f"{label(u)} -> {successors}")
+    return "\n".join(lines)
+
+
+def otis_wiring_dot(p: int, q: int) -> str:
+    """The ``OTIS(p, q)`` transmitter→receiver wiring as a bipartite DOT graph.
+
+    Transmitters are drawn in one rank (grouped ``p`` groups of ``q``) and
+    receivers in another (``q`` groups of ``p``); each of the ``p*q`` beams is
+    one edge — the content of Figure 6.
+    """
+    from repro.otis.architecture import OTISArchitecture
+
+    otis = OTISArchitecture(p, q)
+    lines = [f'digraph "OTIS({p},{q})" {{', "  rankdir=LR;", "  node [shape=box];"]
+    for i in range(p):
+        for j in range(q):
+            lines.append(f'  t_{i}_{j} [label="T({i},{j})"];')
+    for a in range(q):
+        for b in range(p):
+            lines.append(f'  r_{a}_{b} [label="R({a},{b})"];')
+    lines.append("  { rank=same; " + "; ".join(
+        f"t_{i}_{j}" for i in range(p) for j in range(q)) + "; }")
+    lines.append("  { rank=same; " + "; ".join(
+        f"r_{a}_{b}" for a in range(q) for b in range(p)) + "; }")
+    for i in range(p):
+        for j in range(q):
+            a, b = otis.receiver_of(i, j)
+            lines.append(f"  t_{i}_{j} -> r_{a}_{b};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def otis_wiring_text(p: int, q: int) -> str:
+    """A plain-text table of the ``OTIS(p, q)`` wiring (one line per beam)."""
+    from repro.otis.architecture import OTISArchitecture
+
+    otis = OTISArchitecture(p, q)
+    lines = [f"OTIS({p},{q}): {p * q} beams, {p + q} lenses"]
+    for i in range(p):
+        for j in range(q):
+            a, b = otis.receiver_of(i, j)
+            path = otis.optical_path(i, j)
+            lines.append(
+                f"  T({i},{j}) --lens {path.transmitter_lens}/"
+                f"{path.receiver_lens}--> R({a},{b})"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,315 @@
+"""Generators for the digraph families used in the paper.
+
+The families directly defined in the paper:
+
+* :func:`de_bruijn` — ``B(d, D)`` (Definition 2.2, Figure 1),
+* :func:`reddy_raghavan_kuhl` — ``RRK(d, n)`` (Definition 2.5, Figure 2),
+* :func:`kautz` — ``K(d, D)`` (Definition 2.7),
+* :func:`imase_itoh` — ``II(d, n)`` (Definition 2.8, Figure 3),
+* :func:`circuit` — the directed cycle ``C_k`` that appears in the component
+  decomposition of non-cyclic alphabet digraphs (Remark 3.10),
+* :func:`complete_digraph_with_loops` — ``K_n`` with loops, the topology the
+  OTIS architecture was originally shown to implement (Section 1, ref. [34]).
+
+The introduction also motivates de Bruijn networks through the multistage /
+bus networks built on them; a representative subset is generated here so the
+examples and the simulator have realistic comparison topologies:
+:func:`shuffle_exchange`, :func:`butterfly`, :func:`shufflenet`,
+:func:`gemnet`, :func:`hypercube_digraph`, :func:`ring`, and
+:func:`bidirectional_torus`.
+
+Every generator returns a :class:`~repro.graphs.digraph.RegularDigraph` when
+the family is out-regular (all of the paper's families are), with vertex
+``labels`` carrying the word representation when one exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.digraph import Digraph, RegularDigraph
+from repro.words import check_alphabet, word_table, words_to_ints
+
+__all__ = [
+    "de_bruijn",
+    "de_bruijn_words",
+    "reddy_raghavan_kuhl",
+    "imase_itoh",
+    "kautz",
+    "kautz_words",
+    "circuit",
+    "complete_digraph_with_loops",
+    "ring",
+    "shuffle_exchange",
+    "butterfly",
+    "shufflenet",
+    "gemnet",
+    "hypercube_digraph",
+    "bidirectional_torus",
+]
+
+
+# --------------------------------------------------------------------------
+# Families defined in the paper
+# --------------------------------------------------------------------------
+def de_bruijn(d: int, D: int) -> RegularDigraph:
+    """The de Bruijn digraph ``B(d, D)`` (Definition 2.2).
+
+    Vertices are the ``d**D`` words of length ``D`` over ``Z_d`` identified
+    with integers (Remark 2.6); vertex ``u`` has an arc to ``d*u + λ mod d**D``
+    for every ``λ in Z_d``.  Degree ``d``, diameter ``D``, ``d`` loops.
+
+    >>> B = de_bruijn(2, 3)
+    >>> B.num_vertices, B.degree
+    (8, 2)
+    >>> B.out_neighbors(5)      # word 101 -> 01λ
+    [2, 3]
+    """
+    check_alphabet(d, D)
+    n = d**D
+    vertices = np.arange(n, dtype=np.int64)
+    shifted = (vertices * d) % n
+    successors = shifted[:, None] + np.arange(d, dtype=np.int64)[None, :]
+    labels = [tuple(row) for row in word_table(d, D)]
+    return RegularDigraph(successors % n, name=f"B({d},{D})", labels=labels)
+
+
+def de_bruijn_words(d: int, D: int) -> list[tuple[int, ...]]:
+    """The word labelling of ``B(d, D)`` vertices, in integer order."""
+    return [tuple(int(x) for x in row) for row in word_table(d, D)]
+
+
+def reddy_raghavan_kuhl(d: int, n: int) -> RegularDigraph:
+    """The Reddy–Raghavan–Kuhl digraph ``RRK(d, n)`` (Definition 2.5).
+
+    Vertex set ``Z_n``; ``u -> d*u + λ (mod n)`` for ``λ in {0, ..., d-1}``.
+    ``RRK(d, d**D)`` is isomorphic to ``B(d, D)`` (Remark 2.6) — in fact with
+    the standard integer labelling they are the *same* labelled digraph.
+    """
+    check_alphabet(d)
+    if n < 1:
+        raise ValueError("n must be positive")
+    vertices = np.arange(n, dtype=np.int64)
+    successors = (vertices[:, None] * d + np.arange(d, dtype=np.int64)[None, :]) % n
+    return RegularDigraph(successors, name=f"RRK({d},{n})")
+
+
+def imase_itoh(d: int, n: int) -> RegularDigraph:
+    """The Imase–Itoh digraph ``II(d, n)`` (Definition 2.8).
+
+    Vertex set ``Z_n``; ``u -> -d*u - λ (mod n)`` for ``λ in {1, ..., d}``.
+    ``II(d, d**D)`` is isomorphic to ``B(d, D)`` (Proposition 3.3) and
+    ``II(d, d**(D-1) (d+1))`` is isomorphic to the Kautz digraph ``K(d, D)``.
+    """
+    check_alphabet(d)
+    if n < 1:
+        raise ValueError("n must be positive")
+    vertices = np.arange(n, dtype=np.int64)
+    lam = np.arange(1, d + 1, dtype=np.int64)
+    successors = (-(vertices[:, None] * d) - lam[None, :]) % n
+    return RegularDigraph(successors, name=f"II({d},{n})")
+
+
+def kautz(d: int, D: int) -> RegularDigraph:
+    """The Kautz digraph ``K(d, D)`` (Definition 2.7).
+
+    Vertices are words of length ``D`` over ``Z_{d+1}`` with no two equal
+    consecutive letters; there are ``d**(D-1) * (d+1)`` of them.  Arcs append
+    a letter different from the current last letter.  Degree ``d``, diameter
+    ``D``, and it is the largest known digraph for many (degree, diameter)
+    pairs — it tops every block of Table 1.
+
+    Vertices are numbered in lexicographic order of their words; the word of
+    vertex ``u`` is available through ``labels``.
+    """
+    check_alphabet(d, D)
+    if d < 1:
+        raise ValueError("Kautz digraph requires d >= 1")
+    words = kautz_words(d, D)
+    index = {word: i for i, word in enumerate(words)}
+    successors = np.empty((len(words), d), dtype=np.int64)
+    for i, word in enumerate(words):
+        last = word[-1]
+        targets = []
+        for letter in range(d + 1):
+            if letter == last:
+                continue
+            targets.append(index[word[1:] + (letter,)])
+        successors[i, :] = targets
+    return RegularDigraph(successors, name=f"K({d},{D})", labels=words)
+
+
+def kautz_words(d: int, D: int) -> list[tuple[int, ...]]:
+    """All Kautz words (no equal consecutive letters) in lexicographic order."""
+    check_alphabet(d, D)
+    words: list[tuple[int, ...]] = []
+
+    def extend(prefix: tuple[int, ...]) -> None:
+        if len(prefix) == D:
+            words.append(prefix)
+            return
+        for letter in range(d + 1):
+            if prefix and prefix[-1] == letter:
+                continue
+            extend(prefix + (letter,))
+
+    extend(())
+    return words
+
+
+def circuit(k: int) -> RegularDigraph:
+    """The directed circuit ``C_k``: ``i -> i + 1 (mod k)``.
+
+    ``C_1`` is a single vertex with a loop.  Circuits appear as the second
+    factor of the conjunction decomposition of non-cyclic alphabet digraphs
+    (Remark 3.10 and Example 3.3.2).
+    """
+    if k < 1:
+        raise ValueError("circuit length must be positive")
+    successors = ((np.arange(k, dtype=np.int64) + 1) % k)[:, None]
+    return RegularDigraph(successors, name=f"C_{k}")
+
+
+def complete_digraph_with_loops(n: int) -> RegularDigraph:
+    """The complete symmetric digraph with loops ``K_n`` (degree ``n``).
+
+    This is the topology of reference [34]'s OTIS-based all-optical complete
+    network: every processor has ``n`` transceivers, one per arc.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    successors = np.tile(np.arange(n, dtype=np.int64), (n, 1))
+    return RegularDigraph(successors, name=f"K_{n}+loops")
+
+
+# --------------------------------------------------------------------------
+# Comparison topologies cited in the introduction
+# --------------------------------------------------------------------------
+def ring(n: int, bidirectional: bool = True) -> RegularDigraph:
+    """A ring of ``n`` processors (directed circuit or bidirectional ring)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    forward = (np.arange(n, dtype=np.int64) + 1) % n
+    if not bidirectional:
+        return RegularDigraph(forward[:, None], name=f"ring({n},uni)")
+    backward = (np.arange(n, dtype=np.int64) - 1) % n
+    return RegularDigraph(
+        np.stack([forward, backward], axis=1), name=f"ring({n})"
+    )
+
+
+def shuffle_exchange(D: int) -> Digraph:
+    """The shuffle-exchange graph on ``2**D`` vertices as a digraph.
+
+    Each vertex ``u`` has a *shuffle* arc to ``2u mod (2**D) + msb(u)``
+    (cyclic left rotation of its binary word) and an *exchange* arc to
+    ``u XOR 1``.  It is one of the "similar networks" of the broadcasting
+    literature the paper cites (ref. [28]).
+    """
+    if D < 1:
+        raise ValueError("D must be positive")
+    n = 2**D
+    graph = Digraph(n, name=f"SE({D})")
+    for u in range(n):
+        rotated = ((u << 1) | (u >> (D - 1))) & (n - 1)
+        graph.add_arc(u, rotated)
+        graph.add_arc(u, u ^ 1)
+    return graph
+
+
+def butterfly(d: int, D: int) -> Digraph:
+    """The (unwrapped) butterfly multistage network as a digraph.
+
+    Vertices are pairs ``(level, word)`` with ``level in 0..D`` and ``word`` a
+    length-``D`` word over ``Z_d``; vertex ``(l, w)`` with ``l < D`` has arcs
+    to ``(l+1, w')`` for every ``w'`` that agrees with ``w`` outside digit
+    ``l``.  The butterfly is one of the multistage networks the paper lists as
+    built from the de Bruijn (ref. [30]).  Vertex numbering is
+    ``level * d**D + word``.
+    """
+    check_alphabet(d, D)
+    n_words = d**D
+    n = (D + 1) * n_words
+    graph = Digraph(n, name=f"BF({d},{D})")
+    table = word_table(d, D)
+    for level in range(D):
+        base = level * n_words
+        next_base = (level + 1) * n_words
+        position = level  # digit index counted from the right
+        for u in range(n_words):
+            word = table[u].copy()
+            for letter in range(d):
+                word[D - 1 - position] = letter
+                v = int(words_to_ints(word[None, :], d)[0])
+                graph.add_arc(base + u, next_base + v)
+    return graph
+
+
+def shufflenet(d: int, k: int) -> Digraph:
+    """The ShuffleNet multihop lightwave network with ``k`` columns of ``d**k`` nodes.
+
+    Column ``c`` node ``u`` connects to column ``(c+1) mod k`` nodes
+    ``d*u + λ mod d**k`` — i.e. de Bruijn connections between consecutive
+    columns, wrapped around (ref. [27]).
+    """
+    check_alphabet(d, k)
+    n_col = d**k
+    n = k * n_col
+    graph = Digraph(n, name=f"ShuffleNet({d},{k})")
+    for column in range(k):
+        base = column * n_col
+        next_base = ((column + 1) % k) * n_col
+        for u in range(n_col):
+            for lam in range(d):
+                graph.add_arc(base + u, next_base + (d * u + lam) % n_col)
+    return graph
+
+
+def gemnet(d: int, k: int, m: int) -> Digraph:
+    """GEMNET: a generalisation of ShuffleNet to ``k`` columns of ``m`` nodes.
+
+    Column ``c`` node ``u`` connects to column ``(c+1) mod k`` nodes
+    ``(d*u + λ) mod m``; when ``m`` is not a power of ``d`` this is the
+    "fully scalable network of any size" the paper's introduction mentions
+    (refs. [22, 27]).
+    """
+    check_alphabet(d)
+    if k < 1 or m < 1:
+        raise ValueError("k and m must be positive")
+    n = k * m
+    graph = Digraph(n, name=f"GEMNET({d},{k},{m})")
+    for column in range(k):
+        base = column * m
+        next_base = ((column + 1) % k) * m
+        for u in range(m):
+            for lam in range(d):
+                graph.add_arc(base + u, next_base + (d * u + lam) % m)
+    return graph
+
+
+def hypercube_digraph(D: int) -> RegularDigraph:
+    """The ``D``-dimensional hypercube with each edge replaced by two arcs."""
+    if D < 1:
+        raise ValueError("D must be positive")
+    n = 2**D
+    vertices = np.arange(n, dtype=np.int64)
+    successors = np.empty((n, D), dtype=np.int64)
+    for bit in range(D):
+        successors[:, bit] = vertices ^ (1 << bit)
+    return RegularDigraph(successors, name=f"Q_{D}")
+
+
+def bidirectional_torus(rows: int, cols: int) -> RegularDigraph:
+    """A 2-D wrap-around mesh (torus) with bidirectional links, degree 4."""
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be positive")
+    n = rows * cols
+    successors = np.empty((n, 4), dtype=np.int64)
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            successors[u, 0] = r * cols + (c + 1) % cols
+            successors[u, 1] = r * cols + (c - 1) % cols
+            successors[u, 2] = ((r + 1) % rows) * cols + c
+            successors[u, 3] = ((r - 1) % rows) * cols + c
+    return RegularDigraph(successors, name=f"torus({rows}x{cols})")

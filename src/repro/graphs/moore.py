@@ -1,0 +1,66 @@
+"""Moore bounds and the directed degree–diameter problem.
+
+Section 4.3 of the paper studies the degree–diameter problem restricted to
+OTIS digraphs ``H(p, q, d)``: for a given degree ``d`` and diameter ``D``,
+how many nodes can such a digraph have?  The reference points are
+
+* the **directed Moore bound** ``1 + d + d^2 + ... + d^D`` which no digraph
+  with ``d, D > 1`` attains (Bridges & Toueg, ref. [8]),
+* the de Bruijn digraph with ``d^D`` nodes, and
+* the Kautz digraph with ``d^D + d^(D-1)`` nodes — the largest digraph found
+  by the paper's exhaustive OTIS search (Table 1).
+
+These helpers centralise the closed-form counts that the benchmarks compare
+against.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "moore_bound",
+    "de_bruijn_order",
+    "kautz_order",
+    "largest_known_otis_order",
+    "moore_efficiency",
+]
+
+
+def moore_bound(d: int, D: int) -> int:
+    """The directed Moore bound ``1 + d + d^2 + ... + d^D``.
+
+    No digraph of maximum out-degree ``d`` and diameter ``D`` can have more
+    vertices; for ``d, D > 1`` the bound is never attained.
+    """
+    if d < 1 or D < 0:
+        raise ValueError("require d >= 1 and D >= 0")
+    if d == 1:
+        return D + 1
+    return (d ** (D + 1) - 1) // (d - 1)
+
+
+def de_bruijn_order(d: int, D: int) -> int:
+    """Number of vertices of ``B(d, D)``: ``d**D``."""
+    if d < 1 or D < 1:
+        raise ValueError("require d >= 1 and D >= 1")
+    return d**D
+
+
+def kautz_order(d: int, D: int) -> int:
+    """Number of vertices of ``K(d, D)``: ``d**D + d**(D-1)``."""
+    if d < 1 or D < 1:
+        raise ValueError("require d >= 1 and D >= 1")
+    return d**D + d ** (D - 1)
+
+
+def largest_known_otis_order(d: int, D: int) -> int:
+    """Largest ``H(p, q, d)`` order reported by the paper's search: the Kautz order.
+
+    Table 1 finds ``K(2, D)`` (384, 768, 1536 nodes for ``D`` = 8, 9, 10) to
+    be the largest degree-2 OTIS digraph for each diameter.
+    """
+    return kautz_order(d, D)
+
+
+def moore_efficiency(n: int, d: int, D: int) -> float:
+    """Ratio of ``n`` to the Moore bound — how close a digraph is to optimal."""
+    return n / moore_bound(d, D)

@@ -1,0 +1,59 @@
+"""Interoperability with :mod:`networkx`.
+
+The library never depends on networkx for its own algorithms — the digraph
+substrate is self-contained — but conversions are handy for plotting, for the
+users of the public API who already live in the networkx ecosystem, and for
+the test-suite, which cross-checks the generic isomorphism tester and the
+de Bruijn / Kautz generators against ``networkx.de_bruijn_graph`` and
+``networkx.kautz_graph``.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graphs.digraph import BaseDigraph, Digraph
+
+__all__ = ["to_networkx", "from_networkx", "networkx_is_isomorphic"]
+
+
+def to_networkx(graph: BaseDigraph) -> nx.MultiDiGraph:
+    """Convert to a :class:`networkx.MultiDiGraph` (parallel arcs preserved).
+
+    Vertex labels stay the integers ``0 .. n-1``; the digraph ``name`` is
+    copied into the networkx graph attributes.
+    """
+    result = nx.MultiDiGraph(name=graph.name)
+    result.add_nodes_from(range(graph.num_vertices))
+    result.add_edges_from(graph.arcs())
+    return result
+
+
+def from_networkx(graph: nx.DiGraph | nx.MultiDiGraph) -> Digraph:
+    """Convert a networkx (multi)digraph with hashable nodes to a :class:`Digraph`.
+
+    Nodes are relabelled ``0 .. n-1`` in sorted order when sortable, otherwise
+    in insertion order.  Undirected graphs are rejected.
+    """
+    if not graph.is_directed():
+        raise ValueError("from_networkx expects a directed graph")
+    nodes = list(graph.nodes())
+    try:
+        nodes = sorted(nodes)
+    except TypeError:
+        pass
+    index = {node: i for i, node in enumerate(nodes)}
+    result = Digraph(len(nodes), name=str(graph.name) if graph.name else "")
+    for u, v in graph.edges():
+        result.add_arc(index[u], index[v])
+    return result
+
+
+def networkx_is_isomorphic(g1: BaseDigraph, g2: BaseDigraph) -> bool:
+    """Isomorphism decision delegated to networkx (cross-validation helper).
+
+    Used by the test-suite to corroborate
+    :func:`repro.graphs.isomorphism.are_isomorphic` on small instances; not
+    part of any hot path.
+    """
+    return nx.is_isomorphic(to_networkx(g1), to_networkx(g2))

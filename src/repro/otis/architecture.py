@@ -1,0 +1,218 @@
+"""The OTIS(p, q) free-space optical architecture (Section 4.1).
+
+``OTIS(p, q)`` is a one-to-one optical interconnect between ``p`` groups of
+``q`` transmitters and ``q`` groups of ``p`` receivers, realised with a pair
+of lenslet arrays in free space (Figure 6 of the paper shows ``OTIS(3, 6)``).
+Its defining property is the *transpose* wiring:
+
+    transmitter ``(i, j)``  →  receiver ``(q - j - 1, p - i - 1)``
+
+for ``0 <= i < p`` and ``0 <= j < q``.  The hardware cost that the paper
+optimises is the number of lenses, ``p + q``: one lens per transmitter group
+and one per receiver group.
+
+This module models the architecture combinatorially and exposes the
+quantities the rest of the library needs:
+
+* the global wiring permutation between transmitter indices and receiver
+  indices (:meth:`OTISArchitecture.connection_array`),
+* group/offset index conversions,
+* the optical path of a connection (which transmitter-side lens and which
+  receiver-side lens it traverses), used by the hardware model and the
+  simulator's link model,
+* simple validity checks (the wiring must be a bijection — verified by
+  property-based tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["OTISArchitecture", "OpticalPath"]
+
+
+@dataclass(frozen=True)
+class OpticalPath:
+    """The free-space path of one OTIS connection.
+
+    Attributes
+    ----------
+    transmitter:
+        ``(i, j)`` — group and offset of the transmitter.
+    receiver:
+        ``(a, b)`` — group and offset of the receiver it illuminates.
+    transmitter_lens:
+        Index of the lens in the transmitter-side lenslet array (one lens per
+        transmitter group, so this equals ``i``).
+    receiver_lens:
+        Index of the lens in the receiver-side lenslet array (one lens per
+        receiver group, so this equals ``a = q - j - 1``).
+    """
+
+    transmitter: tuple[int, int]
+    receiver: tuple[int, int]
+    transmitter_lens: int
+    receiver_lens: int
+
+
+class OTISArchitecture:
+    """The ``OTIS(p, q)`` optical transpose interconnection system.
+
+    Parameters
+    ----------
+    p:
+        Number of transmitter groups (= number of receivers per group).
+    q:
+        Number of transmitters per group (= number of receiver groups).
+
+    Notes
+    -----
+    Global indices flatten the (group, offset) pairs row-major:
+    transmitter ``(i, j)`` has global index ``i*q + j`` and receiver
+    ``(a, b)`` has global index ``a*p + b``.  With this convention the OTIS
+    wiring is the map ``t ↦ (q - 1 - t%q) * p + (p - 1 - t//q)``.
+    """
+
+    def __init__(self, p: int, q: int):
+        if p < 1 or q < 1:
+            raise ValueError("OTIS parameters p and q must be positive")
+        self.p = int(p)
+        self.q = int(q)
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def num_transmitters(self) -> int:
+        """Total number of transmitters ``p * q``."""
+        return self.p * self.q
+
+    @property
+    def num_receivers(self) -> int:
+        """Total number of receivers ``p * q``."""
+        return self.p * self.q
+
+    @property
+    def num_lenses(self) -> int:
+        """Number of lenses ``p + q`` — the cost the paper minimises."""
+        return self.p + self.q
+
+    @property
+    def transmitter_lens_count(self) -> int:
+        """Lenses on the transmitter side (one per transmitter group): ``p``."""
+        return self.p
+
+    @property
+    def receiver_lens_count(self) -> int:
+        """Lenses on the receiver side (one per receiver group): ``q``."""
+        return self.q
+
+    # ------------------------------------------------------- index handling
+    def transmitter_index(self, i: int, j: int) -> int:
+        """Global index of transmitter ``(i, j)``."""
+        self._check_transmitter(i, j)
+        return i * self.q + j
+
+    def transmitter_coords(self, t: int) -> tuple[int, int]:
+        """Group/offset coordinates of the transmitter with global index ``t``."""
+        if not 0 <= t < self.num_transmitters:
+            raise ValueError(f"transmitter index {t} out of range")
+        return (t // self.q, t % self.q)
+
+    def receiver_index(self, a: int, b: int) -> int:
+        """Global index of receiver ``(a, b)``."""
+        self._check_receiver(a, b)
+        return a * self.p + b
+
+    def receiver_coords(self, r: int) -> tuple[int, int]:
+        """Group/offset coordinates of the receiver with global index ``r``."""
+        if not 0 <= r < self.num_receivers:
+            raise ValueError(f"receiver index {r} out of range")
+        return (r // self.p, r % self.p)
+
+    def _check_transmitter(self, i: int, j: int) -> None:
+        if not (0 <= i < self.p and 0 <= j < self.q):
+            raise ValueError(
+                f"transmitter ({i}, {j}) out of range for OTIS({self.p}, {self.q})"
+            )
+
+    def _check_receiver(self, a: int, b: int) -> None:
+        if not (0 <= a < self.q and 0 <= b < self.p):
+            raise ValueError(
+                f"receiver ({a}, {b}) out of range for OTIS({self.p}, {self.q})"
+            )
+
+    # --------------------------------------------------------------- wiring
+    def receiver_of(self, i: int, j: int) -> tuple[int, int]:
+        """The receiver illuminated by transmitter ``(i, j)``.
+
+        This is the defining transpose rule of the architecture:
+        ``(i, j) → (q - j - 1, p - i - 1)``.
+
+        >>> OTISArchitecture(3, 6).receiver_of(0, 0)
+        (5, 2)
+        """
+        self._check_transmitter(i, j)
+        return (self.q - j - 1, self.p - i - 1)
+
+    def transmitter_of(self, a: int, b: int) -> tuple[int, int]:
+        """The transmitter whose beam reaches receiver ``(a, b)`` (inverse wiring)."""
+        self._check_receiver(a, b)
+        return (self.p - b - 1, self.q - a - 1)
+
+    def connection_array(self) -> np.ndarray:
+        """Vectorised wiring: entry ``t`` is the global receiver index hit by
+        the transmitter with global index ``t``.
+
+        The array is a permutation of ``0 .. p*q - 1`` (each receiver is hit
+        by exactly one transmitter); the property-based tests assert this for
+        random ``(p, q)``.
+        """
+        t = np.arange(self.num_transmitters, dtype=np.int64)
+        i = t // self.q
+        j = t % self.q
+        a = self.q - j - 1
+        b = self.p - i - 1
+        return a * self.p + b
+
+    def optical_path(self, i: int, j: int) -> OpticalPath:
+        """The lenses traversed by the beam of transmitter ``(i, j)``.
+
+        The OTIS realisation uses one lenslet per transmitter group and one
+        per receiver group; the beam from transmitter ``(i, j)`` is collimated
+        by transmitter-side lens ``i`` and focused by receiver-side lens
+        ``q - j - 1`` onto its receiver.
+        """
+        receiver = self.receiver_of(i, j)
+        return OpticalPath(
+            transmitter=(i, j),
+            receiver=receiver,
+            transmitter_lens=i,
+            receiver_lens=receiver[0],
+        )
+
+    def all_optical_paths(self) -> list[OpticalPath]:
+        """Every optical path of the system, in transmitter global-index order."""
+        return [
+            self.optical_path(i, j) for i in range(self.p) for j in range(self.q)
+        ]
+
+    def is_transpose(self) -> bool:
+        """Check the characteristic involution property of the wiring.
+
+        Following the wiring of ``OTIS(p, q)`` and then the wiring of
+        ``OTIS(q, p)`` (receivers reinterpreted as transmitters with the same
+        group/offset coordinates) returns every signal to its starting
+        coordinates — the "transpose" in the system's name.
+        """
+        mirror = OTISArchitecture(self.q, self.p)
+        for i in range(self.p):
+            for j in range(self.q):
+                a, b = self.receiver_of(i, j)
+                back = mirror.receiver_of(a, b)
+                if back != (i, j):
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"OTISArchitecture(p={self.p}, q={self.q})"

@@ -1,0 +1,220 @@
+"""Parametric hardware model of an OTIS free-space optical interconnect.
+
+The paper's hardware argument is purely combinatorial — the number of lenses
+``p + q`` and the number of transceivers per processor — but it is motivated
+by published device figures: the electrical/optical break-even interconnect
+length of less than 1 cm from Feldman et al. (ref. [16]), VCSEL transmitter
+arrays (refs. [15, 31]), transimpedance receivers (ref. [5]) and lenslet
+arrays (refs. [6, 26]).
+
+Since no physical hardware is available (and none is needed for the paper's
+claims), this module provides the **substitute** documented in DESIGN.md: a
+parametric cost/power/latency model that
+
+* counts lenses, transmitters and receivers exactly from a layout,
+* estimates lens apertures from the group sizes (a ``p``-group lens must
+  collect ``q`` beams and vice versa),
+* estimates per-link power and latency for the optical system and for an
+  electrical baseline, using constants of the same order of magnitude as the
+  cited measurements (defaults are intentionally round numbers — the model is
+  for *relative* comparisons, which is all the paper uses),
+* reports the break-even line length at which the optical link becomes
+  cheaper than the electrical one, mirroring the motivation of Section 1.
+
+None of the paper's reproduced results depend on the absolute constants; the
+lens-count scaling benchmarks (Corollary 4.4) only use the exact counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["OpticalTechnology", "ElectricalTechnology", "HardwareModel", "HardwareReport"]
+
+
+@dataclass(frozen=True)
+class OpticalTechnology:
+    """Device-level constants of the free-space optical technology.
+
+    The defaults are order-of-magnitude values consistent with the late-1990s
+    literature the paper cites (VCSEL arrays, transimpedance receivers,
+    lenslet arrays); change them to study other operating points.
+
+    Attributes
+    ----------
+    vcsel_power_mw:
+        Electrical power drawn by one VCSEL transmitter (mW).
+    receiver_power_mw:
+        Power drawn by one optical receiver (mW).
+    lens_pitch_mm:
+        Centre-to-centre pitch of individual transmitter/receiver elements
+        under one lenslet (mm); determines lens aperture.
+    lens_unit_cost:
+        Relative cost of one lenslet (arbitrary units; 1.0 by default so that
+        "cost" equals "lens count", the paper's metric).
+    propagation_speed_m_per_s:
+        Speed of light in the free-space optical path.
+    transceiver_latency_ns:
+        Fixed conversion latency of one transmitter+receiver pair (ns).
+    """
+
+    vcsel_power_mw: float = 2.0
+    receiver_power_mw: float = 5.0
+    lens_pitch_mm: float = 0.25
+    lens_unit_cost: float = 1.0
+    propagation_speed_m_per_s: float = 2.99792458e8
+    transceiver_latency_ns: float = 1.0
+
+
+@dataclass(frozen=True)
+class ElectricalTechnology:
+    """Constants of the electrical baseline used for the break-even comparison.
+
+    Attributes
+    ----------
+    energy_pj_per_bit_per_mm:
+        Energy to drive one bit down one millimetre of on-board trace.
+    fixed_energy_pj_per_bit:
+        Driver/receiver energy independent of length.
+    signal_speed_m_per_s:
+        Propagation speed on the electrical trace (roughly c/2).
+    max_frequency_ghz_mm:
+        Bandwidth–length product: achievable frequency falls as 1/length.
+    """
+
+    energy_pj_per_bit_per_mm: float = 0.15
+    fixed_energy_pj_per_bit: float = 0.5
+    signal_speed_m_per_s: float = 1.5e8
+    max_frequency_ghz_mm: float = 10.0
+
+
+@dataclass(frozen=True)
+class HardwareReport:
+    """The hardware bill of materials and operating figures of one layout."""
+
+    nodes: int
+    degree: int
+    p: int
+    q: int
+    num_lenses: int
+    num_transmitters: int
+    num_receivers: int
+    transmitter_lens_aperture_mm: float
+    receiver_lens_aperture_mm: float
+    total_lens_cost: float
+    optical_power_w: float
+    optical_latency_ns: float
+    electrical_power_w: float
+    electrical_latency_ns: float
+    break_even_length_mm: float
+
+    def lens_count_per_node(self) -> float:
+        """Lenses divided by processors — the paper's efficiency headline."""
+        return self.num_lenses / self.nodes
+
+
+class HardwareModel:
+    """Evaluate the hardware cost of an OTIS layout.
+
+    Parameters
+    ----------
+    optical:
+        Optical technology constants (defaults are fine for relative studies).
+    electrical:
+        Electrical baseline constants.
+    board_length_mm:
+        Physical span of the interconnect being replaced; used for the
+        electrical baseline and the free-space propagation time.
+    """
+
+    def __init__(
+        self,
+        optical: OpticalTechnology | None = None,
+        electrical: ElectricalTechnology | None = None,
+        board_length_mm: float = 50.0,
+    ):
+        self.optical = optical or OpticalTechnology()
+        self.electrical = electrical or ElectricalTechnology()
+        if board_length_mm <= 0:
+            raise ValueError("board_length_mm must be positive")
+        self.board_length_mm = float(board_length_mm)
+
+    # ----------------------------------------------------------- power/latency
+    def optical_link_energy_pj(self) -> float:
+        """Energy per bit of one free-space optical link (length independent)."""
+        # Convert mW at 1 Gbit/s to pJ/bit: 1 mW / 1 Gbps = 1 pJ/bit.
+        return self.optical.vcsel_power_mw + self.optical.receiver_power_mw
+
+    def electrical_link_energy_pj(self, length_mm: float) -> float:
+        """Energy per bit of an electrical trace of the given length."""
+        if length_mm < 0:
+            raise ValueError("length must be non-negative")
+        return (
+            self.electrical.fixed_energy_pj_per_bit
+            + self.electrical.energy_pj_per_bit_per_mm * length_mm
+        )
+
+    def break_even_length_mm(self) -> float:
+        """Trace length above which the optical link uses less energy per bit.
+
+        Mirrors the motivation of Section 1 (Feldman et al. put it below
+        10 mm for their constants).
+        """
+        numerator = (
+            self.optical_link_energy_pj() - self.electrical.fixed_energy_pj_per_bit
+        )
+        if numerator <= 0:
+            return 0.0
+        return numerator / self.electrical.energy_pj_per_bit_per_mm
+
+    def optical_latency_ns(self, path_length_mm: float | None = None) -> float:
+        """One-hop latency of the optical link (conversion + free-space flight)."""
+        length_mm = self.board_length_mm if path_length_mm is None else path_length_mm
+        flight_ns = (length_mm * 1e-3) / self.optical.propagation_speed_m_per_s * 1e9
+        return self.optical.transceiver_latency_ns + flight_ns
+
+    def electrical_latency_ns(self, path_length_mm: float | None = None) -> float:
+        """One-hop latency of the electrical baseline over the same span."""
+        length_mm = self.board_length_mm if path_length_mm is None else path_length_mm
+        return (length_mm * 1e-3) / self.electrical.signal_speed_m_per_s * 1e9
+
+    # -------------------------------------------------------------- evaluation
+    def evaluate(self, layout) -> HardwareReport:
+        """Produce the full hardware report of an :class:`~repro.otis.layout.OTISLayout`."""
+        p, q, d = layout.p, layout.q, layout.d
+        n = layout.num_nodes
+        num_transceivers = n * d
+        # A transmitter-side lens covers one group of q transmitters laid out
+        # on a sqrt(q) x sqrt(q) grid; its aperture scales with that grid.
+        tx_aperture = self.optical.lens_pitch_mm * math.ceil(math.sqrt(q))
+        rx_aperture = self.optical.lens_pitch_mm * math.ceil(math.sqrt(p))
+        total_lens_cost = self.optical.lens_unit_cost * (p + q)
+
+        optical_power_w = (
+            num_transceivers
+            * (self.optical.vcsel_power_mw + self.optical.receiver_power_mw)
+            / 1000.0
+        )
+        electrical_power_w = (
+            num_transceivers
+            * self.electrical_link_energy_pj(self.board_length_mm)
+            / 1000.0
+        )
+        return HardwareReport(
+            nodes=n,
+            degree=d,
+            p=p,
+            q=q,
+            num_lenses=p + q,
+            num_transmitters=num_transceivers,
+            num_receivers=num_transceivers,
+            transmitter_lens_aperture_mm=tx_aperture,
+            receiver_lens_aperture_mm=rx_aperture,
+            total_lens_cost=total_lens_cost,
+            optical_power_w=optical_power_w,
+            optical_latency_ns=self.optical_latency_ns(),
+            electrical_power_w=electrical_power_w,
+            electrical_latency_ns=self.electrical_latency_ns(),
+            break_even_length_mm=self.break_even_length_mm(),
+        )

@@ -1,0 +1,358 @@
+"""Permutation algebra for alphabet digraphs.
+
+The isomorphism results of the paper are parameterised by two permutations:
+
+* ``sigma`` — a permutation of the alphabet ``Z_d`` (Proposition 3.2), and
+* ``f`` — a permutation of the word indices ``Z_D`` (Proposition 3.9), which
+  must be *cyclic* (a single ``D``-cycle) for the alphabet digraph
+  ``A(f, sigma, j)`` to be isomorphic to the de Bruijn digraph ``B(d, D)``.
+
+This module provides a small, self-contained :class:`Permutation` class with
+the operations the paper relies on: composition, inversion, powers ``f^i``
+(Definition "f^{i+1} = f o f^i"), orbit computation, cycle structure,
+cyclicity tests, the complement permutation ``C(u) = n - u - 1``
+(Definition 2.1), the rotation ``rho: i -> i + 1 mod D`` (Remark 3.8), and the
+induced linear map ``->f`` on digit vectors (Definition 3.5).
+
+Permutations are stored as numpy ``int64`` arrays mapping ``i -> perm[i]`` and
+are hashable / comparable, so they can be used as dictionary keys when
+enumerating the ``d! (D-1)!`` alternative de Bruijn definitions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Permutation",
+    "identity",
+    "complement",
+    "rotation",
+    "transposition",
+    "cycle",
+    "random_permutation",
+    "random_cyclic_permutation",
+    "all_permutations",
+    "all_cyclic_permutations",
+    "count_debruijn_definitions",
+]
+
+
+class Permutation:
+    """A permutation of ``Z_n`` stored in one-line notation.
+
+    ``Permutation(mapping)`` takes any sequence ``mapping`` of length ``n``
+    containing each of ``0, ..., n-1`` exactly once; ``mapping[i]`` is the
+    image of ``i``.
+
+    The class supports:
+
+    * ``p(i)`` — apply to a single element,
+    * ``p * q`` — composition ``(p * q)(i) == p(q(i))``,
+    * ``p ** k`` — integer powers (including negative powers),
+    * ``p.inverse()``, ``p.orbit(i)``, ``p.cycles()``, ``p.is_cyclic()``,
+    * ``p.apply_word(word)`` — apply letter-wise to a word (Definition 3.6),
+    * ``p.permute_positions(word)`` — the induced linear map ``->p`` acting on
+      digit vectors (Definition 3.5): position ``i`` of the input is sent to
+      position ``p(i)`` of the output.
+    """
+
+    __slots__ = ("_map",)
+
+    def __init__(self, mapping: Sequence[int] | np.ndarray):
+        arr = np.asarray(list(mapping), dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError("a permutation must be a 1-D sequence")
+        n = arr.shape[0]
+        if n == 0:
+            raise ValueError("a permutation must act on at least one element")
+        if sorted(arr.tolist()) != list(range(n)):
+            raise ValueError(
+                f"{arr.tolist()!r} is not a permutation of Z_{n}: "
+                "it must contain each of 0..n-1 exactly once"
+            )
+        arr.setflags(write=False)
+        self._map = arr
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def n(self) -> int:
+        """Size of the ground set ``Z_n``."""
+        return int(self._map.shape[0])
+
+    @property
+    def mapping(self) -> np.ndarray:
+        """Read-only one-line notation array (``mapping[i]`` is the image of ``i``)."""
+        return self._map
+
+    def __call__(self, i: int) -> int:
+        if not 0 <= i < self.n:
+            raise ValueError(f"element {i} out of range for Z_{self.n}")
+        return int(self._map[i])
+
+    def apply_array(self, values: np.ndarray) -> np.ndarray:
+        """Apply the permutation element-wise to an integer array."""
+        values = np.asarray(values, dtype=np.int64)
+        if values.size and (values.min() < 0 or values.max() >= self.n):
+            raise ValueError(f"values out of range for Z_{self.n}")
+        return self._map[values]
+
+    # ------------------------------------------------------------ composition
+    def __mul__(self, other: "Permutation") -> "Permutation":
+        """Composition: ``(p * q)(i) == p(q(i))`` (apply ``q`` first)."""
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        if other.n != self.n:
+            raise ValueError("cannot compose permutations of different sizes")
+        return Permutation(self._map[other._map])
+
+    def inverse(self) -> "Permutation":
+        """The inverse permutation ``p^{-1}``."""
+        inv = np.empty_like(self._map)
+        inv[self._map] = np.arange(self.n, dtype=np.int64)
+        return Permutation(inv)
+
+    def __pow__(self, k: int) -> "Permutation":
+        """Integer power ``p**k``; ``p**0`` is the identity, negative allowed."""
+        if not isinstance(k, (int, np.integer)):
+            return NotImplemented
+        if k < 0:
+            return self.inverse() ** (-k)
+        result = identity(self.n)
+        base = self
+        k = int(k)
+        while k:
+            if k & 1:
+                result = base * result
+            base = base * base
+            k >>= 1
+        return result
+
+    # ----------------------------------------------------------- cycle theory
+    def orbit(self, start: int) -> list[int]:
+        """Orbit of ``start`` under repeated application: ``[start, p(start), ...]``."""
+        if not 0 <= start < self.n:
+            raise ValueError(f"element {start} out of range for Z_{self.n}")
+        orbit = [start]
+        current = self(start)
+        while current != start:
+            orbit.append(current)
+            current = self(current)
+        return orbit
+
+    def cycles(self) -> list[list[int]]:
+        """Cycle decomposition, each cycle starting at its smallest element."""
+        seen = [False] * self.n
+        cycles = []
+        for i in range(self.n):
+            if seen[i]:
+                continue
+            cyc = self.orbit(i)
+            for element in cyc:
+                seen[element] = True
+            cycles.append(cyc)
+        return cycles
+
+    def cycle_type(self) -> tuple[int, ...]:
+        """Sorted tuple of cycle lengths (a partition of ``n``)."""
+        return tuple(sorted(len(c) for c in self.cycles()))
+
+    def is_identity(self) -> bool:
+        """True when ``p(i) == i`` for all ``i``."""
+        return bool(np.array_equal(self._map, np.arange(self.n)))
+
+    def is_cyclic(self) -> bool:
+        """True when the permutation is a single ``n``-cycle.
+
+        This is the condition of Proposition 3.9: ``A(f, sigma, j)`` is
+        isomorphic to ``B(d, D)`` exactly when the index permutation ``f`` is
+        cyclic.  The check runs in ``O(n)`` by following the orbit of ``0``.
+        """
+        return len(self.orbit(0)) == self.n
+
+    def order(self) -> int:
+        """Multiplicative order: least ``k >= 1`` with ``p**k == identity``."""
+        return math.lcm(*(len(c) for c in self.cycles()))
+
+    def fixed_points(self) -> list[int]:
+        """Elements ``i`` with ``p(i) == i``."""
+        return [int(i) for i in np.nonzero(self._map == np.arange(self.n))[0]]
+
+    def sign(self) -> int:
+        """Signature ``+1``/``-1`` of the permutation."""
+        transpositions = sum(len(c) - 1 for c in self.cycles())
+        return -1 if transpositions % 2 else 1
+
+    # ---------------------------------------------------------- word actions
+    def apply_word(self, word: Sequence[int]) -> tuple[int, ...]:
+        """Letter-wise action on a word over ``Z_n`` (Definition 3.6).
+
+        ``sigma(x_{D-1} ... x_0) = sigma(x_{D-1}) ... sigma(x_0)``.
+        """
+        return tuple(self(int(letter)) for letter in word)
+
+    def permute_positions(self, word: Sequence[int]) -> tuple[int, ...]:
+        """The induced linear map ``->p`` on digit vectors (Definition 3.5).
+
+        ``->p`` sends the basis vector ``e_i`` to ``e_{p(i)}``: the letter at
+        position ``i`` of the input appears at position ``p(i)`` of the
+        output.  Positions are counted from the right (position 0 is the
+        rightmost letter), consistent with :mod:`repro.words`.
+
+        >>> rho = rotation(3)            # i -> i + 1 mod 3
+        >>> rho.permute_positions((1, 2, 3))   # x_2 x_1 x_0 = 1 2 3
+        (2, 3, 1)
+        """
+        D = len(word)
+        if D != self.n:
+            raise ValueError(
+                f"word length {D} does not match permutation size {self.n}"
+            )
+        out = [0] * D
+        for position in range(D):
+            letter = int(word[D - 1 - position])
+            target = self(position)
+            out[D - 1 - target] = letter
+        return tuple(out)
+
+    def position_matrix(self) -> np.ndarray:
+        """The ``D x D`` 0/1 permutation matrix of ``->p`` acting on ``e_i``."""
+        mat = np.zeros((self.n, self.n), dtype=np.int64)
+        for i in range(self.n):
+            mat[self(i), i] = 1
+        return mat
+
+    # --------------------------------------------------------------- dunders
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        return self.n == other.n and bool(np.array_equal(self._map, other._map))
+
+    def __hash__(self) -> int:
+        return hash((self.n, self._map.tobytes()))
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(x) for x in self._map)
+
+    def __repr__(self) -> str:
+        return f"Permutation({self._map.tolist()!r})"
+
+    def as_tuple(self) -> tuple[int, ...]:
+        """One-line notation as a tuple (useful as a dict key)."""
+        return tuple(int(x) for x in self._map)
+
+
+# ------------------------------------------------------------- constructors
+def identity(n: int) -> Permutation:
+    """The identity permutation of ``Z_n``."""
+    return Permutation(np.arange(n, dtype=np.int64))
+
+
+def complement(n: int) -> Permutation:
+    """The complement permutation ``C(u) = n - u - 1`` (Definition 2.1).
+
+    The paper writes ``C(u)`` as ``ū``; it is the permutation that turns the
+    de Bruijn congruence ``u -> d u + λ`` into the Imase–Itoh congruence
+    ``u -> -d u - λ`` (proof of Proposition 3.3).
+    """
+    return Permutation(np.arange(n - 1, -1, -1, dtype=np.int64))
+
+
+def rotation(n: int, shift: int = 1) -> Permutation:
+    """The rotation ``i -> i + shift (mod n)``.
+
+    With ``shift = 1`` this is the permutation ``rho`` of Remark 3.8, for
+    which ``B(d, D) = A(rho, Id, 0)``.
+    """
+    return Permutation((np.arange(n, dtype=np.int64) + shift) % n)
+
+
+def transposition(n: int, i: int, j: int) -> Permutation:
+    """The transposition of ``i`` and ``j`` in ``Z_n``."""
+    mapping = np.arange(n, dtype=np.int64)
+    mapping[i], mapping[j] = mapping[j], mapping[i]
+    return Permutation(mapping)
+
+
+def cycle(n: int, elements: Sequence[int]) -> Permutation:
+    """The permutation of ``Z_n`` acting as the given cycle, fixing the rest.
+
+    ``cycle(5, [0, 2, 3])`` maps ``0 -> 2 -> 3 -> 0`` and fixes 1 and 4.
+    """
+    mapping = np.arange(n, dtype=np.int64)
+    elements = [int(e) for e in elements]
+    if len(set(elements)) != len(elements):
+        raise ValueError("cycle elements must be distinct")
+    for index, element in enumerate(elements):
+        mapping[element] = elements[(index + 1) % len(elements)]
+    return Permutation(mapping)
+
+
+def from_cycles(n: int, cycles: Iterable[Sequence[int]]) -> Permutation:
+    """Build a permutation of ``Z_n`` from disjoint cycles."""
+    mapping = np.arange(n, dtype=np.int64)
+    seen: set[int] = set()
+    for cyc in cycles:
+        cyc = [int(e) for e in cyc]
+        if seen.intersection(cyc):
+            raise ValueError("cycles must be disjoint")
+        seen.update(cyc)
+        for index, element in enumerate(cyc):
+            mapping[element] = cyc[(index + 1) % len(cyc)]
+    return Permutation(mapping)
+
+
+def random_permutation(n: int, rng: np.random.Generator | None = None) -> Permutation:
+    """A uniformly random permutation of ``Z_n``."""
+    rng = np.random.default_rng() if rng is None else rng
+    return Permutation(rng.permutation(n))
+
+
+def random_cyclic_permutation(
+    n: int, rng: np.random.Generator | None = None
+) -> Permutation:
+    """A uniformly random *cyclic* permutation (single ``n``-cycle) of ``Z_n``.
+
+    There are ``(n-1)!`` such permutations; by Proposition 3.9 each one gives
+    an alternative definition of the de Bruijn digraph.
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    order = rng.permutation(n)
+    mapping = np.empty(n, dtype=np.int64)
+    for index in range(n):
+        mapping[order[index]] = order[(index + 1) % n]
+    return Permutation(mapping)
+
+
+def all_permutations(n: int) -> Iterator[Permutation]:
+    """Iterate over all ``n!`` permutations of ``Z_n`` (use for small ``n``)."""
+    for mapping in itertools.permutations(range(n)):
+        yield Permutation(mapping)
+
+
+def all_cyclic_permutations(n: int) -> Iterator[Permutation]:
+    """Iterate over all ``(n-1)!`` cyclic permutations of ``Z_n``.
+
+    Each cyclic permutation is generated exactly once by fixing the cycle to
+    start at element 0.
+    """
+    for rest in itertools.permutations(range(1, n)):
+        yield cycle(n, (0, *rest))
+
+
+def count_debruijn_definitions(d: int, D: int) -> int:
+    """Number of alternative de Bruijn definitions ``d! (D-1)!`` (Section 3.2).
+
+    Proposition 3.2 contributes ``d!`` alphabet permutations and Proposition
+    3.9 contributes ``(D-1)!`` cyclic index permutations.
+    """
+    if d < 1 or D < 1:
+        raise ValueError("d and D must be positive")
+    return math.factorial(d) * math.factorial(D - 1)

@@ -1,0 +1,202 @@
+"""Broadcast algorithms on digraph networks.
+
+Broadcasting (one node informs everyone) is one of the classical collective
+operations studied on the de Bruijn digraph (Bermond & Fraigniaud, ref. [3];
+Pérennes, ref. [28]).  Two port models are implemented:
+
+* **all-port** (also called the *shouting* model): in one round a node can
+  send to all of its out-neighbours simultaneously.  The broadcast time from
+  any node is then exactly its eccentricity — ``D`` rounds on ``B(d, D)``.
+* **single-port** (the *whispering* model): a node can send to only one
+  neighbour per round.  The schedule built here is the standard greedy one on
+  the BFS arborescence: every informed node forwards to its still-uninformed
+  children one per round, deepest subtree first.  It is not guaranteed
+  optimal (optimal single-port broadcast is NP-hard in general) but matches
+  the known ``D + O(log d)``-flavour behaviour on de Bruijn-like digraphs and
+  gives the simulator a concrete schedule to execute.
+
+Both functions return a :class:`BroadcastSchedule` listing, for every round,
+the ``(sender, receiver)`` arcs used — the simulator replays these on top of
+the OTIS link model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.digraph import BaseDigraph
+
+__all__ = [
+    "breadth_first_arborescence",
+    "BroadcastSchedule",
+    "all_port_broadcast_schedule",
+    "single_port_broadcast_schedule",
+]
+
+
+def breadth_first_arborescence(graph: BaseDigraph, root: int) -> np.ndarray:
+    """The BFS spanning arborescence rooted at ``root``.
+
+    Returns ``parent`` with ``parent[root] = root`` and ``parent[v]`` the
+    predecessor of ``v`` on a shortest path from the root; ``-1`` marks
+    unreachable vertices.
+    """
+    n = graph.num_vertices
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range")
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[root] = root
+    queue: deque[int] = deque([root])
+    while queue:
+        u = queue.popleft()
+        for v in graph.out_neighbors(u):
+            if parent[v] < 0:
+                parent[v] = u
+                queue.append(v)
+    return parent
+
+
+@dataclass
+class BroadcastSchedule:
+    """A round-by-round broadcast schedule.
+
+    Attributes
+    ----------
+    root:
+        The originating node.
+    rounds:
+        ``rounds[t]`` is the list of ``(sender, receiver)`` arcs active in
+        round ``t`` (0-based).
+    informed_at:
+        ``informed_at[v]`` is the round *after* which node ``v`` knows the
+        message (0 for the root); ``-1`` if never informed.
+    """
+
+    root: int
+    rounds: list[list[tuple[int, int]]]
+    informed_at: np.ndarray
+
+    @property
+    def num_rounds(self) -> int:
+        """Total number of communication rounds."""
+        return len(self.rounds)
+
+    def covers_all(self) -> bool:
+        """True when every node ends up informed."""
+        return bool(np.all(self.informed_at >= 0))
+
+    def is_valid(self, graph: BaseDigraph, single_port: bool) -> bool:
+        """Validate the schedule against the digraph and the port model.
+
+        Checks that every transmission uses an existing arc, that senders are
+        informed before they send, that receivers are not informed twice, and
+        (for the single-port model) that no node sends twice in one round.
+        """
+        informed = {self.root}
+        for round_arcs in self.rounds:
+            senders_this_round: set[int] = set()
+            new_nodes: set[int] = set()
+            for sender, receiver in round_arcs:
+                if not graph.has_arc(sender, receiver):
+                    return False
+                if sender not in informed:
+                    return False
+                if receiver in informed or receiver in new_nodes:
+                    return False
+                if single_port and sender in senders_this_round:
+                    return False
+                senders_this_round.add(sender)
+                new_nodes.add(receiver)
+            informed.update(new_nodes)
+        return True
+
+
+def all_port_broadcast_schedule(graph: BaseDigraph, root: int) -> BroadcastSchedule:
+    """All-port broadcast: every informed node sends to all neighbours each round.
+
+    Completes in ``eccentricity(root)`` rounds — ``D`` rounds from any node of
+    ``B(d, D)``.
+    """
+    n = graph.num_vertices
+    informed_at = np.full(n, -1, dtype=np.int64)
+    informed_at[root] = 0
+    frontier = [root]
+    rounds: list[list[tuple[int, int]]] = []
+    round_index = 0
+    while frontier:
+        round_index += 1
+        arcs: list[tuple[int, int]] = []
+        next_frontier: list[int] = []
+        for u in frontier:
+            for v in graph.out_neighbors(u):
+                if informed_at[v] < 0:
+                    informed_at[v] = round_index
+                    arcs.append((u, v))
+                    next_frontier.append(v)
+        if arcs:
+            rounds.append(arcs)
+        frontier = next_frontier
+    return BroadcastSchedule(root=root, rounds=rounds, informed_at=informed_at)
+
+
+def single_port_broadcast_schedule(graph: BaseDigraph, root: int) -> BroadcastSchedule:
+    """Single-port broadcast along the BFS arborescence, deepest subtree first.
+
+    Every informed node forwards the message to one still-uninformed child of
+    the BFS arborescence per round, serving the child with the deepest
+    subtree first (the classical greedy rule that minimises the schedule on
+    trees).
+    """
+    n = graph.num_vertices
+    parent = breadth_first_arborescence(graph, root)
+    children: list[list[int]] = [[] for _ in range(n)]
+    for v in range(n):
+        if v != root and parent[v] >= 0:
+            children[int(parent[v])].append(v)
+
+    # Subtree heights guide the greedy order (deepest child first).
+    height = np.zeros(n, dtype=np.int64)
+    order = _topological_children_order(children, root)
+    for v in reversed(order):
+        if children[v]:
+            height[v] = 1 + max(height[c] for c in children[v])
+
+    for v in range(n):
+        children[v].sort(key=lambda c: -int(height[c]))
+
+    informed_at = np.full(n, -1, dtype=np.int64)
+    informed_at[root] = 0
+    pending: dict[int, deque[int]] = {root: deque(children[root])}
+    rounds: list[list[tuple[int, int]]] = []
+    round_index = 0
+    while any(queue for queue in pending.values()):
+        round_index += 1
+        arcs: list[tuple[int, int]] = []
+        newly_informed: list[int] = []
+        for sender in list(pending):
+            queue = pending[sender]
+            if not queue:
+                continue
+            receiver = queue.popleft()
+            arcs.append((sender, receiver))
+            informed_at[receiver] = round_index
+            newly_informed.append(receiver)
+        for node in newly_informed:
+            pending[node] = deque(children[node])
+        rounds.append(arcs)
+    return BroadcastSchedule(root=root, rounds=rounds, informed_at=informed_at)
+
+
+def _topological_children_order(children: list[list[int]], root: int) -> list[int]:
+    """Vertices of the arborescence in BFS order from the root."""
+    order = [root]
+    queue: deque[int] = deque([root])
+    while queue:
+        u = queue.popleft()
+        for v in children[u]:
+            order.append(v)
+            queue.append(v)
+    return order

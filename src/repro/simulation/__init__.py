@@ -1,0 +1,53 @@
+"""Discrete-event simulation of OTIS-based multiprocessor networks.
+
+The paper positions OTIS layouts as the physical substrate of multihop
+optical multiprocessor networks (Section 1; refs. [13, 14, 22, 27]).  This
+subpackage provides the machinery to *run* workloads on the laid-out
+topologies and compare them — the paper itself contains no such experiments,
+so these are ablation/extension studies (documented as A2 in DESIGN.md), not
+reproductions of printed numbers.
+
+* :mod:`repro.simulation.events` — a minimal discrete-event engine
+  (heap-based event queue, deterministic tie-breaking).
+* :mod:`repro.simulation.network` — a store-and-forward network built from
+  any digraph, with per-hop latency taken from the OTIS hardware model and
+  single-port injection/ejection constraints.
+* :mod:`repro.simulation.workloads` — synthetic traffic generators
+  (uniform random, permutation, broadcast, all-to-all, hotspot).
+* :mod:`repro.simulation.protocols` — end-to-end experiments returning
+  latency / throughput statistics.
+"""
+
+from repro.simulation.events import EventQueue, Simulator
+from repro.simulation.network import LinkModel, Message, NetworkSimulator, NetworkStats
+from repro.simulation.protocols import (
+    run_broadcast,
+    run_gossip_traffic,
+    run_point_to_point,
+    run_random_traffic,
+)
+from repro.simulation.workloads import (
+    all_to_all_pairs,
+    broadcast_pairs,
+    hotspot_pairs,
+    permutation_pairs,
+    uniform_random_pairs,
+)
+
+__all__ = [
+    "EventQueue",
+    "Simulator",
+    "LinkModel",
+    "Message",
+    "NetworkSimulator",
+    "NetworkStats",
+    "run_broadcast",
+    "run_point_to_point",
+    "run_random_traffic",
+    "run_gossip_traffic",
+    "uniform_random_pairs",
+    "permutation_pairs",
+    "broadcast_pairs",
+    "all_to_all_pairs",
+    "hotspot_pairs",
+]

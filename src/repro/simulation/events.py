@@ -1,0 +1,126 @@
+"""A minimal discrete-event simulation engine.
+
+The network model of :mod:`repro.simulation.network` needs nothing more than
+a time-ordered event queue with deterministic tie-breaking and a simulator
+loop with a stop condition.  Implementing it here (rather than pulling in an
+external DES framework) keeps the library self-contained and the behaviour
+reproducible bit-for-bit across runs: events with equal timestamps are
+processed in insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = ["Event", "EventQueue", "Simulator"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event.
+
+    Events are ordered by ``(time, sequence)`` so that simultaneous events
+    fire in the order they were scheduled — important for reproducibility.
+
+    Attributes
+    ----------
+    time:
+        Simulation time at which the event fires.
+    sequence:
+        Monotonic insertion counter (assigned by the queue).
+    action:
+        Zero-argument callable executed when the event fires.
+    """
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` to run at ``time``; returns the event object."""
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        event = Event(time=float(time), sequence=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest event, or None when empty."""
+        return self._heap[0].time if self._heap else None
+
+
+class Simulator:
+    """The simulation main loop.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time (advances monotonically).
+    events_processed:
+        Number of events executed so far.
+    """
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now: float = 0.0
+        self.events_processed: int = 0
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.queue.push(self.now + delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at an absolute time (not before the current time)."""
+        if time < self.now:
+            raise ValueError("cannot schedule an event in the past")
+        return self.queue.push(time, action)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events until the queue empties (or a limit is hit).
+
+        Parameters
+        ----------
+        until:
+            Optional horizon; events scheduled after it are left unprocessed.
+        max_events:
+            Optional cap on the number of events to execute (a safeguard for
+            the property-based tests that feed adversarial workloads).
+
+        Returns
+        -------
+        float
+            The simulation time after the last processed event.
+        """
+        while len(self.queue):
+            next_time = self.queue.peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                break
+            if max_events is not None and self.events_processed >= max_events:
+                break
+            event = self.queue.pop()
+            self.now = event.time
+            self.events_processed += 1
+            event.action()
+        return self.now

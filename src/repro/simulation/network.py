@@ -1,0 +1,228 @@
+"""Store-and-forward network simulation on top of a digraph topology.
+
+The model is intentionally simple and matches how the multihop optical
+networks cited by the paper (ShuffleNet, GEMNET, stack-Kautz, refs. [13, 22,
+27]) are usually analysed at the topology level:
+
+* every node has one injection port and ``d`` output links (its out-arcs);
+* a link transmits one message at a time; a message occupies a link for
+  ``link.transmission_time`` and arrives ``link.latency`` later
+  (store-and-forward, no cut-through);
+* routing is deterministic shortest-path, using the all-pairs next-hop table
+  of :func:`repro.routing.paths.build_routing_table`;
+* link contention is resolved FIFO.
+
+The per-hop latency/transmission constants default to the OTIS hardware
+model values (:class:`repro.otis.hardware.HardwareModel`), so simulating the
+same logical topology with an electrical link model versus the free-space
+optical one reproduces the qualitative speed/power comparison that motivates
+the paper (Section 1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.digraph import BaseDigraph
+from repro.routing.paths import RoutingTable, build_routing_table
+from repro.simulation.events import Simulator
+
+__all__ = ["LinkModel", "Message", "NetworkStats", "NetworkSimulator"]
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Timing parameters of one network link.
+
+    Attributes
+    ----------
+    latency:
+        Propagation + conversion delay of a hop (time units; ns if fed from
+        the hardware model).
+    transmission_time:
+        Time the link stays busy per message (serialisation time).
+    """
+
+    latency: float = 1.0
+    transmission_time: float = 1.0
+
+    @classmethod
+    def from_hardware(
+        cls, hardware, *, message_bits: float = 1024.0, rate_gbps: float = 1.0
+    ) -> "LinkModel":
+        """Build a link model from a :class:`repro.otis.hardware.HardwareModel`.
+
+        The latency is the optical one-hop latency (conversion + free-space
+        flight); the transmission time is ``message_bits / rate``.
+        """
+        return cls(
+            latency=hardware.optical_latency_ns(),
+            transmission_time=message_bits / rate_gbps,
+        )
+
+
+@dataclass
+class Message:
+    """One message travelling through the network.
+
+    Attributes
+    ----------
+    ident:
+        Unique message id.
+    source, destination:
+        Endpoints (node indices).
+    creation_time:
+        Time the message was injected at the source.
+    arrival_time:
+        Time it reached its destination (NaN until delivered).
+    hops:
+        Number of links traversed so far.
+    """
+
+    ident: int
+    source: int
+    destination: int
+    creation_time: float
+    arrival_time: float = float("nan")
+    hops: int = 0
+
+    @property
+    def delivered(self) -> bool:
+        """True once the message has reached its destination."""
+        return not np.isnan(self.arrival_time)
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency (NaN until delivered)."""
+        return self.arrival_time - self.creation_time
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate statistics of one simulation run."""
+
+    delivered: int
+    undelivered: int
+    makespan: float
+    mean_latency: float
+    max_latency: float
+    mean_hops: float
+    max_link_queue: int
+    total_link_busy_time: float
+
+    def throughput(self) -> float:
+        """Delivered messages per unit time (0 when nothing was delivered)."""
+        if self.makespan <= 0 or self.delivered == 0:
+            return 0.0
+        return self.delivered / self.makespan
+
+
+class NetworkSimulator:
+    """Simulate store-and-forward message delivery on a digraph.
+
+    Parameters
+    ----------
+    graph:
+        The network topology; nodes are processors, arcs are unidirectional
+        links (exactly the semantics of the OTIS digraphs).
+    link:
+        Timing parameters applied to every link.
+    routing:
+        Optional precomputed routing table (it is computed on demand
+        otherwise; reuse it when simulating many workloads on one topology).
+    """
+
+    def __init__(
+        self,
+        graph: BaseDigraph,
+        link: LinkModel | None = None,
+        routing: RoutingTable | None = None,
+    ):
+        self.graph = graph
+        self.link = link or LinkModel()
+        self.routing = routing or build_routing_table(graph)
+        self._arc_index: dict[tuple[int, int], int] = {}
+        for index, (u, v) in enumerate(graph.arcs()):
+            self._arc_index.setdefault((u, v), index)
+        self._num_links = graph.num_arcs
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self,
+        traffic: list[tuple[int, int, float]],
+        *,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> tuple[NetworkStats, list[Message]]:
+        """Simulate a list of ``(source, destination, injection_time)`` messages.
+
+        Returns the aggregate statistics and the per-message records.
+        Messages whose destination is unreachable are counted as undelivered.
+        """
+        sim = Simulator()
+        n = self.graph.num_vertices
+        link_free_at = np.zeros(self._num_links, dtype=float)
+        link_queue_len = np.zeros(self._num_links, dtype=np.int64)
+        max_queue = 0
+        busy_time = 0.0
+
+        messages: list[Message] = []
+        for ident, (source, destination, time) in enumerate(traffic):
+            if not (0 <= source < n and 0 <= destination < n):
+                raise ValueError(f"message {ident} has endpoints out of range")
+            messages.append(
+                Message(
+                    ident=ident,
+                    source=source,
+                    destination=destination,
+                    creation_time=float(time),
+                )
+            )
+
+        def forward(message: Message, node: int) -> None:
+            nonlocal max_queue, busy_time
+            if node == message.destination:
+                message.arrival_time = sim.now
+                return
+            next_node = int(self.routing.next_hop[node, message.destination])
+            if next_node < 0:
+                return  # unreachable: drop (counted as undelivered)
+            link_id = self._arc_index[(node, next_node)]
+            start = max(sim.now, float(link_free_at[link_id]))
+            finish = start + self.link.transmission_time
+            link_free_at[link_id] = finish
+            link_queue_len[link_id] += 1
+            max_queue = max(max_queue, int(link_queue_len[link_id]))
+            busy_time += self.link.transmission_time
+
+            def deliver(msg=message, nxt=next_node, lid=link_id) -> None:
+                link_queue_len[lid] -= 1
+                msg.hops += 1
+                forward(msg, nxt)
+
+            sim.schedule_at(finish + self.link.latency, deliver)
+
+        for message in messages:
+            sim.schedule_at(
+                message.creation_time, lambda m=message: forward(m, m.source)
+            )
+
+        makespan = sim.run(until=until, max_events=max_events)
+        delivered = [m for m in messages if m.delivered]
+        undelivered = len(messages) - len(delivered)
+        latencies = np.array([m.latency for m in delivered], dtype=float)
+        hops = np.array([m.hops for m in delivered], dtype=float)
+        stats = NetworkStats(
+            delivered=len(delivered),
+            undelivered=undelivered,
+            makespan=makespan,
+            mean_latency=float(latencies.mean()) if latencies.size else 0.0,
+            max_latency=float(latencies.max()) if latencies.size else 0.0,
+            mean_hops=float(hops.mean()) if hops.size else 0.0,
+            max_link_queue=max_queue,
+            total_link_busy_time=busy_time,
+        )
+        return stats, messages

@@ -1,0 +1,144 @@
+"""Synthetic traffic generators for the network simulator.
+
+These produce lists of ``(source, destination, injection_time)`` triples — the
+input format of :meth:`repro.simulation.network.NetworkSimulator.run`.  The
+workloads are the usual suspects of interconnection-network evaluation:
+uniform random traffic, random permutations, hotspot traffic, one-to-all
+broadcast and all-to-all exchange.  All generators take an explicit numpy
+``Generator`` (or seed) so that every experiment in the benchmarks is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "uniform_random_pairs",
+    "permutation_pairs",
+    "hotspot_pairs",
+    "broadcast_pairs",
+    "all_to_all_pairs",
+    "poisson_arrival_times",
+]
+
+Traffic = list[tuple[int, int, float]]
+
+
+def _rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def poisson_arrival_times(
+    count: int, rate: float, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """``count`` arrival times of a Poisson process with the given rate."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    generator = _rng(rng)
+    gaps = generator.exponential(1.0 / rate, size=count)
+    return np.cumsum(gaps)
+
+
+def uniform_random_pairs(
+    num_nodes: int,
+    num_messages: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    rate: float | None = None,
+) -> Traffic:
+    """Uniform random traffic: independent random (source, destination) pairs.
+
+    Sources and destinations are drawn uniformly (destination resampled when
+    it collides with the source).  When ``rate`` is given, injection times
+    follow a Poisson process of that rate; otherwise all messages are injected
+    at time 0.
+    """
+    if num_nodes < 2:
+        raise ValueError("uniform random traffic needs at least 2 nodes")
+    generator = _rng(rng)
+    times = (
+        poisson_arrival_times(num_messages, rate, generator)
+        if rate is not None
+        else np.zeros(num_messages)
+    )
+    traffic: Traffic = []
+    for k in range(num_messages):
+        source = int(generator.integers(num_nodes))
+        destination = int(generator.integers(num_nodes))
+        while destination == source:
+            destination = int(generator.integers(num_nodes))
+        traffic.append((source, destination, float(times[k])))
+    return traffic
+
+
+def permutation_pairs(
+    num_nodes: int, rng: np.random.Generator | int | None = None
+) -> Traffic:
+    """A random permutation workload: every node sends one message, no two
+    messages share a destination, nobody sends to itself (for ``n > 1``)."""
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    generator = _rng(rng)
+    destinations = generator.permutation(num_nodes)
+    # Resample until derangement-ish (fix self-loops by swapping).
+    for node in range(num_nodes):
+        if destinations[node] == node:
+            other = (node + 1) % num_nodes
+            destinations[node], destinations[other] = (
+                destinations[other],
+                destinations[node],
+            )
+    return [(node, int(destinations[node]), 0.0) for node in range(num_nodes)]
+
+
+def hotspot_pairs(
+    num_nodes: int,
+    num_messages: int,
+    hotspot: int = 0,
+    hotspot_fraction: float = 0.5,
+    rng: np.random.Generator | int | None = None,
+) -> Traffic:
+    """Hotspot traffic: a fraction of messages target one node, the rest are uniform."""
+    if not 0 <= hotspot < num_nodes:
+        raise ValueError("hotspot node out of range")
+    if not 0.0 <= hotspot_fraction <= 1.0:
+        raise ValueError("hotspot_fraction must be in [0, 1]")
+    generator = _rng(rng)
+    traffic: Traffic = []
+    for _ in range(num_messages):
+        source = int(generator.integers(num_nodes))
+        if generator.random() < hotspot_fraction and source != hotspot:
+            destination = hotspot
+        else:
+            destination = int(generator.integers(num_nodes))
+            while destination == source:
+                destination = int(generator.integers(num_nodes))
+        traffic.append((source, destination, 0.0))
+    return traffic
+
+
+def broadcast_pairs(num_nodes: int, root: int = 0) -> Traffic:
+    """Naive one-to-all broadcast as unicasts: the root sends to every other node.
+
+    This is the *unicast emulation* of a broadcast; compare with the
+    tree-based schedules of :mod:`repro.routing.broadcast` in the simulator
+    benchmarks.
+    """
+    if not 0 <= root < num_nodes:
+        raise ValueError("root out of range")
+    return [(root, node, 0.0) for node in range(num_nodes) if node != root]
+
+
+def all_to_all_pairs(num_nodes: int) -> Traffic:
+    """Complete exchange: every ordered pair of distinct nodes gets one message."""
+    return [
+        (source, destination, 0.0)
+        for source in range(num_nodes)
+        for destination in range(num_nodes)
+        if source != destination
+    ]

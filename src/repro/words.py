@@ -1,0 +1,285 @@
+"""Radix-``d`` word arithmetic.
+
+The digraph families studied in Coudert, Ferreira and Pérennes (IPDPS 2000)
+are *alphabet digraphs*: their vertices are words of a fixed length ``D`` over
+the alphabet ``Z_d = {0, 1, ..., d-1}``.  Throughout the paper (and this
+library) a word ``x = x_{D-1} x_{D-2} ... x_1 x_0`` is identified with the
+integer ``u = sum_i x_i * d**i`` (Remark 2.6 of the paper), so that
+
+* ``x_0`` is the **rightmost** letter (least-significant digit), and
+* ``x_{D-1}`` is the **leftmost** letter (most-significant digit).
+
+This module provides conversions between the two representations, both for
+single words (tuples of ``int``) and vectorised for whole vertex sets (numpy
+arrays), together with the elementary word operations (shifts, digit reads and
+writes) used by the rest of the library.
+
+All functions validate their inputs; invalid alphabets or out-of-range digits
+raise :class:`ValueError` so that errors surface close to their cause.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Word",
+    "check_alphabet",
+    "word_to_int",
+    "int_to_word",
+    "word_length",
+    "all_words",
+    "word_table",
+    "words_to_ints",
+    "ints_to_words",
+    "left_shift",
+    "right_shift",
+    "digit",
+    "with_digit",
+    "concat",
+    "split",
+    "hamming_distance",
+    "longest_overlap",
+]
+
+#: A word is a tuple of digits ``(x_{D-1}, ..., x_1, x_0)`` — most significant
+#: digit first, matching the paper's left-to-right notation.
+Word = tuple[int, ...]
+
+
+def check_alphabet(d: int, D: int | None = None) -> None:
+    """Validate an alphabet size ``d`` (and optionally a word length ``D``).
+
+    Parameters
+    ----------
+    d:
+        Alphabet cardinality; must be an integer ``>= 1``.
+    D:
+        Optional word length; must be an integer ``>= 1`` when given.
+
+    Raises
+    ------
+    ValueError
+        If either parameter is out of range.
+    """
+    if not isinstance(d, (int, np.integer)) or d < 1:
+        raise ValueError(f"alphabet size d must be a positive integer, got {d!r}")
+    if D is not None and (not isinstance(D, (int, np.integer)) or D < 1):
+        raise ValueError(f"word length D must be a positive integer, got {D!r}")
+
+
+def _check_digits(word: Sequence[int], d: int) -> None:
+    for letter in word:
+        if not 0 <= int(letter) < d:
+            raise ValueError(f"digit {letter!r} out of range for alphabet Z_{d}")
+
+
+def word_to_int(word: Sequence[int], d: int) -> int:
+    """Convert a word ``x_{D-1} ... x_0`` to its integer value ``sum x_i d^i``.
+
+    The first element of ``word`` is the most-significant digit, matching the
+    paper's notation ``x = x_{D-1} x_{D-2} ... x_1 x_0``.
+
+    >>> word_to_int((1, 0, 1), 2)
+    5
+    """
+    check_alphabet(d)
+    _check_digits(word, d)
+    value = 0
+    for letter in word:
+        value = value * d + int(letter)
+    return value
+
+
+def int_to_word(value: int, d: int, D: int) -> Word:
+    """Convert an integer in ``Z_{d^D}`` to its length-``D`` word.
+
+    >>> int_to_word(5, 2, 3)
+    (1, 0, 1)
+    """
+    check_alphabet(d, D)
+    n = d**D
+    if not 0 <= value < n:
+        raise ValueError(f"value {value} out of range for Z_{d}^{D} (0..{n - 1})")
+    digits = []
+    for _ in range(D):
+        digits.append(value % d)
+        value //= d
+    return tuple(reversed(digits))
+
+
+def word_length(n: int, d: int) -> int:
+    """Return ``D`` such that ``d**D == n``, or raise if ``n`` is not a power.
+
+    >>> word_length(8, 2)
+    3
+    """
+    check_alphabet(d)
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    if d == 1:
+        if n != 1:
+            raise ValueError("alphabet of size 1 only supports n == 1")
+        return 1
+    D = 0
+    value = 1
+    while value < n:
+        value *= d
+        D += 1
+    if value != n:
+        raise ValueError(f"{n} is not a power of {d}")
+    return max(D, 1)
+
+
+def all_words(d: int, D: int) -> list[Word]:
+    """Enumerate all ``d**D`` words of length ``D`` in integer order.
+
+    The ``i``-th element of the returned list is ``int_to_word(i, d, D)``.
+    """
+    check_alphabet(d, D)
+    return [int_to_word(i, d, D) for i in range(d**D)]
+
+
+def word_table(d: int, D: int) -> np.ndarray:
+    """Return the ``(d**D, D)`` array of digits of every word, vectorised.
+
+    Row ``u`` holds ``(x_{D-1}, ..., x_0)`` for the word with integer value
+    ``u``; column ``0`` is therefore the most-significant digit.  This is the
+    vectorised counterpart of :func:`all_words` and is the preferred input for
+    bulk digit manipulations (cf. the HPC guideline of replacing Python loops
+    over vertices by whole-array operations).
+    """
+    check_alphabet(d, D)
+    n = d**D
+    values = np.arange(n, dtype=np.int64)
+    powers = d ** np.arange(D - 1, -1, -1, dtype=np.int64)
+    return (values[:, None] // powers[None, :]) % d
+
+
+def words_to_ints(words: np.ndarray, d: int) -> np.ndarray:
+    """Vectorised inverse of :func:`word_table` for an ``(m, D)`` digit array."""
+    check_alphabet(d)
+    words = np.asarray(words, dtype=np.int64)
+    if words.ndim != 2:
+        raise ValueError("words must be a 2-D array of digits")
+    if words.size and (words.min() < 0 or words.max() >= d):
+        raise ValueError(f"digits out of range for alphabet Z_{d}")
+    D = words.shape[1]
+    powers = d ** np.arange(D - 1, -1, -1, dtype=np.int64)
+    return words @ powers
+
+
+def ints_to_words(values: np.ndarray, d: int, D: int) -> np.ndarray:
+    """Vectorised :func:`int_to_word` for an array of integer vertex labels."""
+    check_alphabet(d, D)
+    values = np.asarray(values, dtype=np.int64)
+    n = d**D
+    if values.size and (values.min() < 0 or values.max() >= n):
+        raise ValueError(f"values out of range for Z_{d}^{D}")
+    powers = d ** np.arange(D - 1, -1, -1, dtype=np.int64)
+    return (values[..., None] // powers) % d
+
+
+def left_shift(word: Sequence[int], new_last: int, d: int) -> Word:
+    """De Bruijn successor: drop ``x_{D-1}``, append ``new_last`` on the right.
+
+    ``x_{D-1} x_{D-2} ... x_0  ->  x_{D-2} ... x_0 λ`` (Definition 2.2).
+
+    >>> left_shift((1, 0, 1), 0, 2)
+    (0, 1, 0)
+    """
+    check_alphabet(d)
+    _check_digits(word, d)
+    if not 0 <= new_last < d:
+        raise ValueError(f"new digit {new_last} out of range for Z_{d}")
+    return tuple(word[1:]) + (int(new_last),)
+
+
+def right_shift(word: Sequence[int], new_first: int, d: int) -> Word:
+    """De Bruijn predecessor: drop ``x_0``, prepend ``new_first`` on the left."""
+    check_alphabet(d)
+    _check_digits(word, d)
+    if not 0 <= new_first < d:
+        raise ValueError(f"new digit {new_first} out of range for Z_{d}")
+    return (int(new_first),) + tuple(word[:-1])
+
+
+def digit(word: Sequence[int], position: int) -> int:
+    """Return letter ``x_position`` (position 0 is the rightmost letter).
+
+    >>> digit((1, 0, 1), 0)
+    1
+    >>> digit((1, 0, 1), 2)
+    1
+    >>> digit((1, 0, 1), 1)
+    0
+    """
+    D = len(word)
+    if not 0 <= position < D:
+        raise ValueError(f"position {position} out of range for word of length {D}")
+    return int(word[D - 1 - position])
+
+
+def with_digit(word: Sequence[int], position: int, value: int, d: int) -> Word:
+    """Return a copy of ``word`` with letter ``x_position`` replaced by ``value``."""
+    check_alphabet(d)
+    if not 0 <= value < d:
+        raise ValueError(f"digit {value} out of range for Z_{d}")
+    D = len(word)
+    if not 0 <= position < D:
+        raise ValueError(f"position {position} out of range for word of length {D}")
+    out = list(word)
+    out[D - 1 - position] = int(value)
+    return tuple(out)
+
+
+def concat(*parts: Iterable[int]) -> Word:
+    """Concatenate word fragments left-to-right (most significant first)."""
+    out: list[int] = []
+    for part in parts:
+        out.extend(int(x) for x in part)
+    return tuple(out)
+
+
+def split(word: Sequence[int], *lengths: int) -> tuple[Word, ...]:
+    """Split a word into consecutive fragments of the given lengths.
+
+    The lengths must sum to ``len(word)``.  Fragments are returned
+    left-to-right, mirroring the ``!(l) !(eps) !(k)`` decompositions used in
+    the proof of Proposition 4.1.
+    """
+    if sum(lengths) != len(word):
+        raise ValueError(
+            f"fragment lengths {lengths} do not sum to word length {len(word)}"
+        )
+    fragments = []
+    start = 0
+    for length in lengths:
+        fragments.append(tuple(int(x) for x in word[start : start + length]))
+        start += length
+    return tuple(fragments)
+
+
+def hamming_distance(a: Sequence[int], b: Sequence[int]) -> int:
+    """Number of positions at which two equal-length words differ."""
+    if len(a) != len(b):
+        raise ValueError("words must have equal length")
+    return sum(1 for x, y in zip(a, b) if int(x) != int(y))
+
+
+def longest_overlap(a: Sequence[int], b: Sequence[int]) -> int:
+    """Length of the longest suffix of ``a`` that is a prefix of ``b``.
+
+    This is the quantity that drives shortest-path routing in the de Bruijn
+    digraph: the distance from ``a`` to ``b`` in ``B(d, D)`` is
+    ``D - longest_overlap(a, b)``.
+    """
+    if len(a) != len(b):
+        raise ValueError("words must have equal length")
+    D = len(a)
+    for k in range(D, -1, -1):
+        if k == 0 or tuple(a[D - k :]) == tuple(b[:k]):
+            return k
+    return 0

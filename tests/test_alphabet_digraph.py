@@ -1,0 +1,148 @@
+"""Unit tests for B_sigma(d, D) and A(f, sigma, j) (Definitions 3.1 and 3.7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.alphabet_digraph import (
+    AlphabetDigraphSpec,
+    alphabet_digraph,
+    apply_alphabet_permutation,
+    apply_position_permutation,
+    b_sigma,
+    debruijn_spec,
+    imase_itoh_spec,
+)
+from repro.graphs.generators import de_bruijn, imase_itoh
+from repro.graphs.traversal import is_strongly_connected, weakly_connected_components
+from repro.permutations import Permutation, complement, identity, rotation
+from repro.words import word_table, word_to_int
+
+
+class TestSpecValidation:
+    def test_valid_spec(self):
+        spec = debruijn_spec(2, 4)
+        assert spec.num_vertices == 16
+        assert spec.is_debruijn_isomorphic()
+        assert "cyclic" in spec.describe()
+
+    def test_mismatched_f(self):
+        with pytest.raises(ValueError):
+            AlphabetDigraphSpec(d=2, D=4, f=rotation(3), sigma=identity(2), j=0)
+
+    def test_mismatched_sigma(self):
+        with pytest.raises(ValueError):
+            AlphabetDigraphSpec(d=2, D=3, f=rotation(3), sigma=identity(3), j=0)
+
+    def test_bad_position(self):
+        with pytest.raises(ValueError):
+            AlphabetDigraphSpec(d=2, D=3, f=rotation(3), sigma=identity(2), j=3)
+
+    def test_non_cyclic_spec_reports_it(self):
+        spec = AlphabetDigraphSpec(
+            d=2, D=3, f=Permutation([2, 1, 0]), sigma=identity(2), j=1
+        )
+        assert not spec.is_debruijn_isomorphic()
+        assert "non-cyclic" in spec.describe()
+
+
+class TestTableActions:
+    def test_apply_position_permutation_matches_scalar(self):
+        f = Permutation([3, 4, 5, 2, 0, 1])  # Example 3.3.1
+        table = word_table(2, 6)
+        moved = apply_position_permutation(table, f)
+        for u in range(0, 64, 7):
+            expected = f.permute_positions(tuple(table[u]))
+            assert tuple(moved[u]) == expected
+
+    def test_apply_position_permutation_validates(self):
+        with pytest.raises(ValueError):
+            apply_position_permutation(word_table(2, 3), rotation(4))
+
+    def test_apply_alphabet_permutation(self):
+        table = word_table(3, 2)
+        flipped = apply_alphabet_permutation(table, complement(3))
+        assert np.array_equal(flipped, 2 - table)
+
+
+class TestRemark38:
+    def test_debruijn_is_a_rho_id_0(self):
+        # Remark 3.8: B(d, D) = A(rho, Id, 0), including the slot labelling.
+        for d, D in ((2, 3), (3, 2), (2, 5)):
+            built = debruijn_spec(d, D).build()
+            reference = de_bruijn(d, D)
+            assert np.array_equal(built.successors, reference.successors)
+
+    def test_b_sigma_identity_is_debruijn(self):
+        assert b_sigma(2, 4, identity(2)).same_arcs(de_bruijn(2, 4))
+
+    def test_b_sigma_is_a_rho_sigma_0(self):
+        sigma = Permutation([1, 2, 0])
+        direct = b_sigma(3, 3, sigma)
+        via_spec = alphabet_digraph(3, 3, rotation(3), sigma, 0)
+        assert direct.same_arcs(via_spec)
+
+
+class TestDefinition31:
+    def test_b_sigma_adjacency(self):
+        # Gamma+(x) = sigma(x_{D-2}) ... sigma(x_0) lambda
+        sigma = Permutation([1, 0])  # complement on Z_2
+        graph = b_sigma(2, 3, sigma)
+        x = (1, 0, 1)
+        u = word_to_int(x, 2)
+        expected = {
+            word_to_int((sigma(0), sigma(1), lam), 2) for lam in range(2)
+        }
+        assert set(graph.out_neighbors(u)) == expected
+
+    def test_imase_itoh_spec_matches_ii_digraph(self):
+        # Proof of Proposition 3.3: B_C(d, D) equals II(d, d^D) on integers.
+        for d, D in ((2, 3), (2, 4), (3, 3)):
+            assert imase_itoh_spec(d, D).build().same_arcs(imase_itoh(d, d**D))
+
+
+class TestDefinition37:
+    def test_out_degree_and_size(self):
+        spec = AlphabetDigraphSpec(
+            d=3, D=3, f=rotation(3), sigma=complement(3), j=1
+        )
+        graph = spec.build()
+        assert graph.num_vertices == 27
+        assert graph.degree == 3
+
+    def test_example_3_3_1_adjacency(self):
+        # Gamma+_H(x5 x4 x3 x2 x1 x0) = x2 x1 x0 x5 x4 lambda?  No: the paper's
+        # H has Gamma+ = x2 x1 x0 <free> x5 x4 with the free letter at
+        # position 2 — check the full out-neighbour set.
+        f = Permutation([3, 4, 5, 2, 0, 1])
+        graph = alphabet_digraph(2, 6, f, identity(2), 2)
+        x = (1, 0, 1, 1, 0, 0)  # x5..x0
+        u = word_to_int(x, 2)
+        # expected: x2 x1 x0 lam x5 x4  (positions 5..0)
+        expected = {
+            word_to_int((x[3], x[4], x[5], lam, x[0], x[1]), 2) for lam in range(2)
+        }
+        assert set(graph.out_neighbors(u)) == expected
+
+    def test_example_3_3_2_adjacency_and_disconnection(self):
+        # H = A(f, Id, 1) with f(i) = 2 - i; Gamma+(x2 x1 x0) = x0 lam x2.
+        f = Permutation([2, 1, 0])
+        graph = alphabet_digraph(2, 3, f, identity(2), 1)
+        x = (1, 1, 0)
+        u = word_to_int(x, 2)
+        expected = {word_to_int((x[2], lam, x[0]), 2) for lam in range(2)}
+        assert set(graph.out_neighbors(u)) == expected
+        assert not is_strongly_connected(graph)
+        # Figure 5: components of sizes 4, 2, 2 for d = 2.
+        sizes = sorted(len(c) for c in weakly_connected_components(graph))
+        assert sizes == [2, 2, 4]
+
+    def test_cyclic_f_gives_connected_digraph(self):
+        spec = AlphabetDigraphSpec(
+            d=2, D=4, f=Permutation([2, 0, 3, 1]), sigma=identity(2), j=0
+        )
+        assert spec.f.is_cyclic()
+        assert is_strongly_connected(spec.build())
+
+    def test_labels_are_words(self):
+        graph = debruijn_spec(2, 3).build()
+        assert graph.labels[5] == (1, 0, 1)

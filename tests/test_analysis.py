@@ -1,0 +1,72 @@
+"""Tests for the analysis/reporting helpers."""
+
+import pytest
+
+from repro.analysis.lens_count import lens_scaling_study, lens_scaling_table
+from repro.analysis.tables import format_table, paper_vs_measured
+
+
+class TestLensScaling:
+    def test_even_diameters_match_closed_form(self):
+        rows = lens_scaling_study(2, [2, 4, 6, 8, 10])
+        for row in rows:
+            assert row.n == 2**row.D
+            assert row.lenses_imase_itoh == 2 + row.n
+            # Corollary 4.4: balanced split, (1 + d) * sqrt(n) lenses.
+            assert row.lenses_optimal == 3 * 2 ** (row.D // 2)
+            assert row.normalised == pytest.approx(row.theoretical_constant)
+            assert (row.p_prime, row.q_prime) == (row.D // 2, row.D // 2 + 1)
+
+    def test_ratio_grows_with_n(self):
+        rows = lens_scaling_study(2, [4, 6, 8, 10, 12])
+        ratios = [row.ratio for row in rows]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 10  # the saving becomes dramatic quickly
+
+    def test_degree_three(self):
+        rows = lens_scaling_study(3, [2, 4, 6])
+        for row in rows:
+            assert row.lenses_optimal == 4 * 3 ** (row.D // 2)
+
+    def test_table_rendering(self):
+        text = lens_scaling_table(2, [4, 8])
+        assert "Corollary 4.4" in text
+        assert "256" in text
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        rows = [
+            {"name": "B(2,8)", "lenses": 48, "ratio": 5.375},
+            {"name": "II(2,256)", "lenses": 258, "ratio": 1.0},
+        ]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "lenses" in lines[0]
+        assert "5.375" in text
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_format_table_explicit_columns(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_paper_vs_measured_numeric(self):
+        row = paper_vs_measured("lenses for B(2,8)", 48, 48)
+        assert row["match"] is True
+        assert row["relative_deviation"] == 0.0
+        row2 = paper_vs_measured("nodes", 100, 110)
+        assert row2["match"] is False
+        assert row2["relative_deviation"] == pytest.approx(0.1)
+
+    def test_paper_vs_measured_non_numeric(self):
+        row = paper_vs_measured("splits", [(2, 256)], [(2, 256)])
+        assert row["match"] is True
+        assert "relative_deviation" not in row
+
+    def test_paper_vs_measured_zero_paper_value(self):
+        assert paper_vs_measured("x", 0, 0)["relative_deviation"] == 0.0
+        assert paper_vs_measured("x", 0, 1)["relative_deviation"] == float("inf")

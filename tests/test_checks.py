@@ -1,0 +1,149 @@
+"""Tests for the O(D) layout checks and lens minimisation (Section 4.4)."""
+
+import pytest
+
+from repro.core.checks import (
+    balanced_split_is_layout,
+    enumerate_layout_splits,
+    is_otis_layout_of_de_bruijn,
+    minimal_lens_split,
+    otis_alphabet_spec,
+    otis_split_lens_count,
+    prop_4_1_index_permutation,
+)
+from repro.core.isomorphisms import debruijn_to_alphabet_isomorphism
+from repro.graphs.generators import de_bruijn
+from repro.graphs.isomorphism import are_isomorphic, is_isomorphism
+from repro.otis.h_digraph import h_digraph
+
+
+class TestProposition41:
+    def test_permutation_formula(self):
+        f = prop_4_1_index_permutation(2, 3)  # D = 4
+        assert f.as_tuple() == (2, 3, 1, 0)
+
+    def test_h_equals_alphabet_digraph(self):
+        # H(d^p', d^q', d) and A(f, C, p'-1) coincide on integer labels.
+        cases = [(2, 2, 3), (2, 3, 2), (2, 1, 4), (3, 2, 2), (2, 4, 5)]
+        for d, p_prime, q_prime in cases:
+            H = h_digraph(d**p_prime, d**q_prime, d)
+            A = otis_alphabet_spec(d, p_prime, q_prime).build()
+            assert H.same_arcs(A), (d, p_prime, q_prime)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prop_4_1_index_permutation(0, 3)
+
+
+class TestCorollary42:
+    def test_even_diameter_balanced_split_is_cyclic(self):
+        # Corollary 4.4's split always passes the test.
+        for d in (2, 3):
+            for D in (2, 4, 6, 8, 10, 12):
+                assert is_otis_layout_of_de_bruijn(d, D // 2, D // 2 + 1)
+
+    def test_degenerate_split_always_works(self):
+        # p' = D, q' = 1 corresponds to the Imase-Itoh layout (O(n) lenses).
+        for D in range(1, 12):
+            assert is_otis_layout_of_de_bruijn(2, D, 1)
+            assert is_otis_layout_of_de_bruijn(2, 1, D)
+
+    def test_paper_examples_section_4_3(self):
+        # H(2,256,2), H(4,128,2), H(16,32,2) are isomorphic to B(2,8);
+        # H(8, 64, 2) is not (its f is not cyclic).
+        assert is_otis_layout_of_de_bruijn(2, 1, 8)
+        assert is_otis_layout_of_de_bruijn(2, 2, 7)
+        assert is_otis_layout_of_de_bruijn(2, 4, 5)
+        assert not is_otis_layout_of_de_bruijn(2, 3, 6)
+
+    def test_paper_examples_odd_diameter(self):
+        # "H(2^5, 2^7, 2) and B(2,11) are isomorphic, while H(d^6, d^8, d)
+        #  and B(d,13) are not."
+        assert is_otis_layout_of_de_bruijn(2, 5, 7)
+        assert not is_otis_layout_of_de_bruijn(2, 6, 8)
+
+    def test_check_agrees_with_explicit_isomorphism_search(self):
+        # For small cases, confirm the O(D) verdict with the generic tester.
+        for p_prime, q_prime in [(1, 3), (2, 2), (2, 3), (3, 2), (1, 4), (3, 1)]:
+            d = 2
+            D = p_prime + q_prime - 1
+            verdict = is_otis_layout_of_de_bruijn(d, p_prime, q_prime)
+            H = h_digraph(d**p_prime, d**q_prime, d)
+            assert verdict == are_isomorphic(de_bruijn(d, D), H)
+
+    def test_constructive_layout_mapping_when_cyclic(self):
+        # When the check passes, the constructive isomorphism really maps
+        # B(d, D) onto H(d^p', d^q', d).
+        d, p_prime, q_prime = 2, 3, 4
+        D = p_prime + q_prime - 1
+        spec = otis_alphabet_spec(d, p_prime, q_prime)
+        assert spec.is_debruijn_isomorphic()
+        mapping = debruijn_to_alphabet_isomorphism(spec)
+        H = h_digraph(d**p_prime, d**q_prime, d)
+        assert is_isomorphism(de_bruijn(d, D), H, mapping)
+
+
+class TestProposition43:
+    def test_balanced_odd_split_only_for_D_1(self):
+        assert balanced_split_is_layout(2, 1)
+        for D in (3, 5, 7, 9, 11):
+            half = (D + 1) // 2
+            assert not is_otis_layout_of_de_bruijn(2, half, half)
+
+    def test_balanced_even_split_always(self):
+        for D in (2, 4, 6, 8, 10):
+            assert balanced_split_is_layout(2, D)
+            assert balanced_split_is_layout(3, D)
+
+
+class TestCorollary46:
+    def test_lens_count_formula(self):
+        assert otis_split_lens_count(2, 4, 5) == 16 + 32
+        assert otis_split_lens_count(3, 2, 3) == 9 + 27
+        with pytest.raises(ValueError):
+            otis_split_lens_count(2, 0, 3)
+
+    def test_enumerate_splits_covers_all(self):
+        splits = enumerate_layout_splits(2, 8)
+        assert len(splits) == 8
+        assert {(s.p_prime, s.q_prime) for s in splits} == {
+            (p, 9 - p) for p in range(1, 9)
+        }
+        # p/q properties
+        for split in splits:
+            assert split.p == 2**split.p_prime
+            assert split.q == 2**split.q_prime
+
+    def test_minimal_split_even_diameter(self):
+        # Corollary 4.4: the balanced split wins for even D.
+        for D in (2, 4, 6, 8, 10, 12):
+            split = minimal_lens_split(2, D)
+            assert (split.p_prime, split.q_prime) == (D // 2, D // 2 + 1)
+            assert split.lenses == 2 ** (D // 2) + 2 ** (D // 2 + 1)
+
+    def test_minimal_split_odd_diameter_11(self):
+        # D = 11: the near-balanced (5, 7) split works.
+        split = minimal_lens_split(2, 11)
+        assert (split.p_prime, split.q_prime) == (5, 7)
+
+    def test_minimal_split_odd_diameter_13(self):
+        # D = 13: (6, 8) fails (paper), so a more skewed split is optimal.
+        split = minimal_lens_split(2, 13)
+        assert split.is_layout
+        assert (split.p_prime, split.q_prime) != (6, 8)
+        assert is_otis_layout_of_de_bruijn(2, split.p_prime, split.q_prime)
+        # it must still beat the trivial (1, 13) split
+        assert split.lenses < otis_split_lens_count(2, 1, 13)
+
+    def test_minimal_split_is_actually_minimal(self):
+        for D in (5, 7, 9, 13):
+            best = minimal_lens_split(2, D)
+            valid = [s for s in enumerate_layout_splits(2, D) if s.is_layout]
+            assert best.lenses == min(s.lenses for s in valid)
+
+    def test_lens_count_scales_as_sqrt_n(self):
+        # For even D the optimal lens count is (1 + d) * sqrt(n).
+        for D in (4, 6, 8, 10):
+            split = minimal_lens_split(2, D)
+            n = 2**D
+            assert split.lenses == 3 * int(n**0.5)

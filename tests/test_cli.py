@@ -1,0 +1,89 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestLayoutCommand:
+    def test_layout_basic(self, capsys):
+        assert main(["layout", "-D", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "OTIS(16,32)" in out
+        assert "48 lenses" in out
+        assert "verified: True" in out
+
+    def test_layout_with_assignments(self, capsys):
+        assert main(["layout", "-D", "4", "--assignments"]) == 0
+        out = capsys.readouterr().out
+        assert "transmitters" in out
+        assert out.count("\n") > 16  # one row per processor
+
+
+class TestCheckCommand:
+    def test_check_positive(self, capsys):
+        assert main(["check", "--p-prime", "4", "--q-prime", "5"]) == 0
+        assert "IS isomorphic" in capsys.readouterr().out
+
+    def test_check_negative_exit_code(self, capsys):
+        assert main(["check", "--p-prime", "3", "--q-prime", "6"]) == 1
+        assert "is NOT isomorphic" in capsys.readouterr().out
+
+
+class TestSplitsCommand:
+    def test_splits(self, capsys):
+        assert main(["splits", "-D", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "lenses" in out
+        assert out.count("\n") >= 9  # header + separator + 8 splits
+
+
+class TestTable1Command:
+    def test_table1_printed_rows(self, capsys):
+        assert main(["table1", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "B(2,8)" in out
+        assert "K(2,8)" in out
+        assert "all printed rows reproduced: True" in out
+
+    def test_table1_rejects_unknown_diameter(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "6"])
+
+
+class TestFigureCommand:
+    def test_figure_1_dot(self, capsys):
+        assert main(["figure", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "B(2,3)"')
+
+    def test_figure_2_text(self, capsys):
+        assert main(["figure", "2", "--format", "text"]) == 0
+        assert "->" in capsys.readouterr().out
+
+    def test_figure_5_dot(self, capsys):
+        assert main(["figure", "5"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_figure_6_and_7_wirings(self, capsys):
+        assert main(["figure", "6"]) == 0
+        out6 = capsys.readouterr().out
+        assert out6.count("->") == 18
+        assert main(["figure", "7", "--format", "text"]) == 0
+        out7 = capsys.readouterr().out
+        assert "32 beams" in out7
+
+    def test_figure_8(self, capsys):
+        assert main(["figure", "8", "--format", "text"]) == 0
+        assert "0000" in capsys.readouterr().out

@@ -1,0 +1,67 @@
+"""Tests for DOT / plain-text export of digraphs and OTIS wirings."""
+
+from repro.core.alphabet_digraph import alphabet_digraph
+from repro.graphs.drawing import (
+    adjacency_listing,
+    otis_wiring_dot,
+    otis_wiring_text,
+    to_dot,
+)
+from repro.graphs.generators import de_bruijn, imase_itoh
+
+
+class TestToDot:
+    def test_debruijn_dot_contains_word_labels(self):
+        dot = to_dot(de_bruijn(2, 3))
+        assert dot.startswith('digraph "B(2,3)"')
+        assert 'label="000"' in dot
+        assert 'label="111"' in dot
+        # 16 arcs => 16 edge lines
+        assert dot.count("->") == 16
+        assert dot.rstrip().endswith("}")
+
+    def test_unlabelled_digraph_uses_indices(self):
+        dot = to_dot(imase_itoh(2, 8))
+        assert 'label="0"' in dot and 'label="7"' in dot
+
+    def test_custom_labels_and_highlight(self):
+        dot = to_dot(
+            de_bruijn(2, 2),
+            name="custom",
+            vertex_label=lambda u: f"x{u}",
+            highlight=[0, 3],
+        )
+        assert 'digraph "custom"' in dot
+        assert 'label="x0"' in dot
+        assert dot.count("fillcolor") == 2
+
+    def test_figure_5_component_highlight(self):
+        from repro.permutations import Permutation, identity
+
+        graph = alphabet_digraph(2, 3, Permutation([2, 1, 0]), identity(2), 1)
+        dot = to_dot(graph, highlight=[1, 3, 4, 6])
+        assert dot.count("fillcolor") == 4
+
+    def test_adjacency_listing(self):
+        text = adjacency_listing(de_bruijn(2, 2))
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0] == "00 -> 00, 01"
+        assert lines[3] == "11 -> 10, 11"
+
+
+class TestOTISWiring:
+    def test_wiring_dot_figure_6(self):
+        dot = otis_wiring_dot(3, 6)
+        # 18 transmitters + 18 receivers declared, 18 beams
+        assert dot.count('[label="T(') == 18
+        assert dot.count('[label="R(') == 18
+        assert dot.count("->") == 18
+        # the defining connection of the architecture
+        assert "t_0_0 -> r_5_2;" in dot
+
+    def test_wiring_text(self):
+        text = otis_wiring_text(3, 6)
+        assert "OTIS(3,6): 18 beams, 9 lenses" in text.splitlines()[0]
+        assert "T(0,0)" in text and "R(5,2)" in text
+        assert len(text.splitlines()) == 19

@@ -1,0 +1,84 @@
+"""Tests for the parametric OTIS hardware model (DESIGN.md substitution)."""
+
+import pytest
+
+from repro.otis.hardware import (
+    ElectricalTechnology,
+    HardwareModel,
+    OpticalTechnology,
+)
+from repro.otis.layout import imase_itoh_layout, optimal_debruijn_layout
+
+
+class TestBreakEven:
+    def test_break_even_positive_and_below_board(self):
+        model = HardwareModel()
+        length = model.break_even_length_mm()
+        assert length > 0
+        # the motivation of Section 1: optics win well within a board span
+        assert length < model.board_length_mm
+
+    def test_break_even_monotone_in_vcsel_power(self):
+        cheap = HardwareModel(OpticalTechnology(vcsel_power_mw=1.0))
+        costly = HardwareModel(OpticalTechnology(vcsel_power_mw=10.0))
+        assert cheap.break_even_length_mm() < costly.break_even_length_mm()
+
+    def test_break_even_zero_when_optics_free(self):
+        model = HardwareModel(
+            OpticalTechnology(vcsel_power_mw=0.0, receiver_power_mw=0.0)
+        )
+        assert model.break_even_length_mm() == 0.0
+
+    def test_electrical_energy_grows_with_length(self):
+        model = HardwareModel()
+        assert model.electrical_link_energy_pj(100) > model.electrical_link_energy_pj(1)
+        with pytest.raises(ValueError):
+            model.electrical_link_energy_pj(-1)
+
+    def test_latencies(self):
+        model = HardwareModel(board_length_mm=100.0)
+        assert model.optical_latency_ns() > 0
+        # electrical signal travels slower than light in free space
+        assert model.electrical_latency_ns() > model.optical_latency_ns() - \
+            model.optical.transceiver_latency_ns
+
+    def test_board_length_validation(self):
+        with pytest.raises(ValueError):
+            HardwareModel(board_length_mm=0)
+
+
+class TestEvaluate:
+    def test_report_counts_match_layout(self):
+        layout = optimal_debruijn_layout(2, 8)
+        report = HardwareModel().evaluate(layout)
+        assert report.nodes == 256
+        assert report.num_lenses == 48
+        assert report.num_transmitters == 512
+        assert report.num_receivers == 512
+        assert report.lens_count_per_node() == pytest.approx(48 / 256)
+
+    def test_optimal_layout_uses_fewer_lenses_but_same_transceivers(self):
+        model = HardwareModel()
+        optimal = model.evaluate(optimal_debruijn_layout(2, 8))
+        baseline = model.evaluate(imase_itoh_layout(2, 256))
+        assert optimal.num_lenses < baseline.num_lenses
+        assert optimal.num_transmitters == baseline.num_transmitters
+        # lens apertures: the baseline's single huge group needs a much
+        # larger transmitter-side lens field
+        assert optimal.transmitter_lens_aperture_mm < baseline.transmitter_lens_aperture_mm
+
+    def test_power_scales_with_transceivers(self):
+        model = HardwareModel()
+        small = model.evaluate(optimal_debruijn_layout(2, 4))
+        large = model.evaluate(optimal_debruijn_layout(2, 8))
+        assert large.optical_power_w > small.optical_power_w
+        assert large.optical_power_w == pytest.approx(
+            small.optical_power_w * (256 * 2) / (16 * 2)
+        )
+
+    def test_custom_technologies(self):
+        optical = OpticalTechnology(lens_unit_cost=2.5)
+        electrical = ElectricalTechnology(fixed_energy_pj_per_bit=1.0)
+        model = HardwareModel(optical=optical, electrical=electrical)
+        report = model.evaluate(optimal_debruijn_layout(2, 4))
+        assert report.total_lens_cost == pytest.approx(2.5 * report.num_lenses)

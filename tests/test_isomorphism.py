@@ -1,0 +1,119 @@
+"""Unit tests for the generic digraph isomorphism machinery."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.digraph import Digraph
+from repro.graphs.generators import circuit, de_bruijn, imase_itoh, kautz
+from repro.graphs.isomorphism import (
+    are_isomorphic,
+    find_isomorphism,
+    invariant_fingerprint,
+    is_isomorphism,
+    refinement_colors,
+)
+from repro.graphs.nx_interop import networkx_is_isomorphic
+from repro.graphs.operations import relabel
+
+
+class TestIsIsomorphism:
+    def test_identity_mapping(self):
+        g = de_bruijn(2, 3)
+        assert is_isomorphism(g, g, list(range(8)))
+
+    def test_relabelled_mapping(self):
+        g = de_bruijn(2, 3)
+        rng = np.random.default_rng(0)
+        mapping = rng.permutation(8)
+        h = relabel(g, mapping)
+        assert is_isomorphism(g, h, mapping)
+        # a wrong mapping is rejected
+        wrong = mapping.copy()
+        wrong[[0, 1]] = wrong[[1, 0]]
+        if not np.array_equal(wrong, mapping):
+            assert not is_isomorphism(g, h, wrong) or g.same_arcs(relabel(g, wrong))
+
+    def test_rejects_non_permutation(self):
+        g = circuit(4)
+        assert not is_isomorphism(g, g, [0, 0, 1, 2])
+        assert not is_isomorphism(g, g, [0, 1, 2])
+        assert not is_isomorphism(g, circuit(5), [0, 1, 2, 3])
+
+
+class TestRefinement:
+    def test_colors_constant_on_vertex_transitive(self):
+        colors = refinement_colors(de_bruijn(2, 3))
+        # B(2,3) is not vertex transitive under WL because loops single out
+        # 000 and 111; but all non-loop vertices share colours with someone.
+        assert len(colors) == 8
+
+    def test_fingerprint_isomorphism_invariant(self):
+        g = de_bruijn(2, 4)
+        mapping = np.random.default_rng(3).permutation(16)
+        h = relabel(g, mapping)
+        assert invariant_fingerprint(g) == invariant_fingerprint(h)
+
+    def test_fingerprint_distinguishes(self):
+        assert invariant_fingerprint(de_bruijn(2, 3)) != invariant_fingerprint(
+            kautz(2, 3)
+        )
+        assert invariant_fingerprint(circuit(4)) != invariant_fingerprint(circuit(5))
+
+
+class TestFindIsomorphism:
+    def test_finds_known_isomorphism(self):
+        # B(2,3) and II(2,8) are isomorphic (Proposition 3.3).
+        g = de_bruijn(2, 3)
+        h = imase_itoh(2, 8)
+        mapping = find_isomorphism(g, h)
+        assert mapping is not None
+        assert is_isomorphism(g, h, mapping)
+
+    def test_finds_for_random_relabelling(self):
+        g = kautz(2, 3)
+        rng = np.random.default_rng(11)
+        h = relabel(g, rng.permutation(g.num_vertices))
+        mapping = find_isomorphism(g, h)
+        assert mapping is not None
+        assert is_isomorphism(g, h, mapping)
+
+    def test_rejects_non_isomorphic_same_size(self):
+        # B(2,3) and the 8-cycle are both 8 vertices but not isomorphic.
+        g8 = Digraph(8)
+        for i in range(8):
+            g8.add_arc(i, (i + 1) % 8)
+            g8.add_arc(i, (i + 2) % 8)
+        assert not are_isomorphic(de_bruijn(2, 3), g8)
+
+    def test_rejects_different_sizes(self):
+        assert find_isomorphism(circuit(3), circuit(4)) is None
+        assert find_isomorphism(de_bruijn(2, 3), kautz(2, 3)) is None
+
+    def test_loops_and_multiplicities_respected(self):
+        g = Digraph(2, arcs=[(0, 0), (0, 1), (1, 0), (1, 0)])
+        h = Digraph(2, arcs=[(1, 1), (1, 0), (0, 1), (0, 1)])
+        mapping = find_isomorphism(g, h)
+        assert mapping == [1, 0]
+        h_bad = Digraph(2, arcs=[(1, 1), (1, 0), (0, 1), (1, 0)])
+        assert find_isomorphism(g, h_bad) is None
+
+    def test_empty_graphs(self):
+        assert find_isomorphism(Digraph(0), Digraph(0)) == []
+
+    def test_max_nodes_budget(self):
+        g = de_bruijn(2, 4)
+        h = relabel(g, np.random.default_rng(5).permutation(16))
+        with pytest.raises(RuntimeError):
+            find_isomorphism(g, h, max_nodes=1)
+
+    def test_agrees_with_networkx(self):
+        # Cross-validate on a batch of small digraph pairs.
+        pairs = [
+            (de_bruijn(2, 3), imase_itoh(2, 8)),
+            (de_bruijn(2, 3), kautz(2, 3)),
+            (circuit(6), circuit(6)),
+            (circuit(6), de_bruijn(2, 3)),
+            (kautz(2, 2), imase_itoh(2, 6)),
+        ]
+        for g, h in pairs:
+            assert are_isomorphic(g, h) == networkx_is_isomorphic(g, h)

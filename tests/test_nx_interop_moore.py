@@ -1,0 +1,99 @@
+"""Unit tests for networkx interop and the Moore bound helpers."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.digraph import Digraph
+from repro.graphs.generators import de_bruijn, kautz
+from repro.graphs.isomorphism import are_isomorphic
+from repro.graphs.moore import (
+    de_bruijn_order,
+    kautz_order,
+    largest_known_otis_order,
+    moore_bound,
+    moore_efficiency,
+)
+from repro.graphs.nx_interop import from_networkx, networkx_is_isomorphic, to_networkx
+
+
+class TestNetworkxInterop:
+    def test_to_networkx_preserves_arcs(self):
+        g = de_bruijn(2, 3)
+        nxg = to_networkx(g)
+        assert nxg.number_of_nodes() == 8
+        assert nxg.number_of_edges() == 16
+        assert nxg.is_directed()
+
+    def test_roundtrip(self):
+        g = Digraph(4, arcs=[(0, 1), (0, 1), (2, 2), (3, 0)])
+        back = from_networkx(to_networkx(g))
+        assert back.same_arcs(g)
+
+    def test_from_networkx_rejects_undirected(self):
+        with pytest.raises(ValueError):
+            from_networkx(nx.path_graph(3))
+
+    def test_from_networkx_relabels_nodes(self):
+        nxg = nx.DiGraph()
+        nxg.add_edge("b", "a")
+        nxg.add_edge("a", "c")
+        g = from_networkx(nxg)
+        # sorted order: a=0, b=1, c=2
+        assert g.has_arc(1, 0) and g.has_arc(0, 2)
+
+    def test_matches_independent_networkx_construction(self):
+        # Build B(2, 3) independently in networkx straight from the
+        # congruence definition (Remark 2.6) and cross-check.
+        ours = de_bruijn(2, 3)
+        independent = nx.MultiDiGraph()
+        independent.add_nodes_from(range(8))
+        for u in range(8):
+            for lam in range(2):
+                independent.add_edge(u, (2 * u + lam) % 8)
+        theirs = from_networkx(independent)
+        assert ours.same_arcs(theirs)
+        assert are_isomorphic(ours, theirs)
+
+    def test_kautz_line_digraph_cross_check(self):
+        # networkx's line-digraph of our K(2,2) must be isomorphic to K(2,3)
+        # (classical line-digraph characterisation of Kautz digraphs).
+        base = to_networkx(kautz(2, 2))
+        line = nx.line_graph(nx.DiGraph(base))
+        theirs = from_networkx(nx.convert_node_labels_to_integers(line))
+        assert are_isomorphic(kautz(2, 3), theirs)
+
+    def test_networkx_is_isomorphic_helper(self):
+        assert networkx_is_isomorphic(de_bruijn(2, 2), de_bruijn(2, 2))
+        assert not networkx_is_isomorphic(de_bruijn(2, 2), kautz(2, 2))
+
+
+class TestMooreBounds:
+    def test_moore_bound_values(self):
+        assert moore_bound(2, 3) == 1 + 2 + 4 + 8
+        assert moore_bound(3, 2) == 1 + 3 + 9
+        assert moore_bound(1, 5) == 6
+
+    def test_moore_bound_validation(self):
+        with pytest.raises(ValueError):
+            moore_bound(0, 3)
+        with pytest.raises(ValueError):
+            moore_bound(2, -1)
+
+    def test_orders(self):
+        assert de_bruijn_order(2, 8) == 256
+        assert kautz_order(2, 8) == 384
+        assert kautz_order(2, 9) == 768
+        assert kautz_order(2, 10) == 1536
+
+    def test_largest_known_otis_order_matches_table1_top(self):
+        # Table 1's largest entries are the Kautz digraphs.
+        assert largest_known_otis_order(2, 8) == 384
+        assert largest_known_otis_order(2, 9) == 768
+        assert largest_known_otis_order(2, 10) == 1536
+
+    def test_moore_efficiency(self):
+        # Kautz gets closer to the Moore bound than de Bruijn.
+        assert moore_efficiency(kautz_order(2, 8), 2, 8) > moore_efficiency(
+            de_bruijn_order(2, 8), 2, 8
+        )
+        assert 0 < moore_efficiency(256, 2, 8) < 1

@@ -1,0 +1,127 @@
+"""Unit tests for digraph operations (conjunction, line digraph, etc.)."""
+
+import pytest
+
+from repro.graphs.digraph import Digraph
+from repro.graphs.generators import circuit, complete_digraph_with_loops, de_bruijn, kautz
+from repro.graphs.isomorphism import are_isomorphic
+from repro.graphs.operations import (
+    cartesian_product,
+    conjunction,
+    disjoint_union,
+    induced_subgraph,
+    line_digraph,
+    relabel,
+    reverse,
+)
+from repro.graphs.properties import diameter
+from repro.graphs.traversal import is_strongly_connected, weakly_connected_components
+
+
+class TestConjunction:
+    def test_sizes(self):
+        g = conjunction(circuit(3), circuit(4))
+        assert g.num_vertices == 12
+        assert g.num_arcs == 12  # one arc per vertex (1-regular x 1-regular)
+
+    def test_definition_2_3_adjacency(self):
+        g1 = Digraph(2, arcs=[(0, 1)])
+        g2 = Digraph(2, arcs=[(1, 0)])
+        product = conjunction(g1, g2)
+        # only ((0,1), (1,0)) i.e. 0*2+1=1 -> 1*2+0=2
+        assert list(product.arcs()) == [(1, 2)]
+
+    def test_remark_2_4_debruijn_conjunction(self):
+        # B(d, k) (x) B(d', k) = B(d d', k)
+        product = conjunction(de_bruijn(2, 2), de_bruijn(2, 2))
+        assert are_isomorphic(product, de_bruijn(4, 2))
+
+    def test_remark_2_4_mixed_degrees(self):
+        product = conjunction(de_bruijn(2, 2), de_bruijn(3, 2))
+        assert are_isomorphic(product, de_bruijn(6, 2))
+
+    def test_conjunction_with_c1_is_identity_up_to_iso(self):
+        B = de_bruijn(2, 3)
+        assert are_isomorphic(conjunction(B, circuit(1)), B)
+
+    def test_multiplicities_multiply(self):
+        g1 = Digraph(1, arcs=[(0, 0), (0, 0)])
+        g2 = Digraph(1, arcs=[(0, 0), (0, 0), (0, 0)])
+        product = conjunction(g1, g2)
+        assert product.arc_multiset()[(0, 0)] == 6
+
+
+class TestLineDigraph:
+    def test_line_of_complete_is_debruijn(self):
+        # L(K_d with loops) = B(d, 2); iterating gives higher diameters.
+        line = line_digraph(complete_digraph_with_loops(2))
+        assert are_isomorphic(line, de_bruijn(2, 2))
+
+    def test_line_of_debruijn_is_next_debruijn(self):
+        line = line_digraph(de_bruijn(2, 3))
+        assert are_isomorphic(line, de_bruijn(2, 4))
+
+    def test_line_of_kautz_is_next_kautz(self):
+        line = line_digraph(kautz(2, 2))
+        assert are_isomorphic(line, kautz(2, 3))
+
+    def test_sizes(self):
+        g = de_bruijn(3, 2)
+        line = line_digraph(g)
+        assert line.num_vertices == g.num_arcs
+        assert line.num_arcs == sum(
+            g.out_degree(v) for _, v in g.arcs()
+        )
+
+
+class TestReverseAndUnion:
+    def test_reverse_involution(self):
+        g = de_bruijn(2, 3)
+        assert reverse(reverse(g)).same_arcs(g.to_digraph())
+
+    def test_debruijn_self_converse(self):
+        # B(d, D) is isomorphic to its reverse.
+        g = de_bruijn(2, 3)
+        assert are_isomorphic(g, reverse(g))
+
+    def test_disjoint_union(self):
+        union = disjoint_union([circuit(3), circuit(4)])
+        assert union.num_vertices == 7
+        assert union.num_arcs == 7
+        components = weakly_connected_components(union)
+        assert sorted(len(c) for c in components) == [3, 4]
+
+    def test_disjoint_union_not_connected(self):
+        union = disjoint_union([circuit(2), circuit(2)])
+        assert not is_strongly_connected(union)
+
+
+class TestRelabelSubgraphProduct:
+    def test_relabel_is_isomorphic(self):
+        from repro.graphs.isomorphism import is_isomorphism
+
+        g = de_bruijn(2, 3)
+        mapping = [3, 1, 4, 0, 5, 7, 2, 6]
+        h = relabel(g, mapping)
+        assert is_isomorphism(g, h, mapping)
+
+    def test_relabel_validates(self):
+        with pytest.raises(ValueError):
+            relabel(circuit(3), [0, 0, 1])
+
+    def test_induced_subgraph(self):
+        g = de_bruijn(2, 3)
+        sub = induced_subgraph(g, [0, 1, 2])
+        assert sub.num_vertices == 3
+        # arcs inside {0,1,2}: 0->0, 0->1, 1->2
+        assert sub.arc_multiset() == {(0, 0): 1, (0, 1): 1, (1, 2): 1}
+
+    def test_induced_subgraph_distinct(self):
+        with pytest.raises(ValueError):
+            induced_subgraph(circuit(4), [0, 0])
+
+    def test_cartesian_product_degrees(self):
+        g = cartesian_product(circuit(3), circuit(4))
+        assert g.num_vertices == 12
+        assert all(g.out_degree(u) == 2 for u in range(12))
+        assert diameter(g) == 2 + 3

@@ -1,0 +1,229 @@
+"""Unit tests for repro.permutations — the permutation algebra."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.permutations import (
+    Permutation,
+    all_cyclic_permutations,
+    all_permutations,
+    complement,
+    count_debruijn_definitions,
+    cycle,
+    from_cycles,
+    identity,
+    random_cyclic_permutation,
+    random_permutation,
+    rotation,
+    transposition,
+)
+
+
+class TestConstruction:
+    def test_valid(self):
+        p = Permutation([2, 0, 1])
+        assert p.n == 3
+        assert p(0) == 2 and p(1) == 0 and p(2) == 1
+
+    def test_invalid_not_a_permutation(self):
+        with pytest.raises(ValueError):
+            Permutation([0, 0, 1])
+        with pytest.raises(ValueError):
+            Permutation([0, 2])
+        with pytest.raises(ValueError):
+            Permutation([])
+
+    def test_call_out_of_range(self):
+        with pytest.raises(ValueError):
+            Permutation([0, 1])(2)
+
+    def test_mapping_read_only(self):
+        p = identity(4)
+        with pytest.raises(ValueError):
+            p.mapping[0] = 3
+
+
+class TestNamedPermutations:
+    def test_identity(self):
+        p = identity(5)
+        assert p.is_identity()
+        assert all(p(i) == i for i in range(5))
+
+    def test_complement_definition_2_1(self):
+        # C(u) = n - u - 1
+        c = complement(4)
+        assert [c(i) for i in range(4)] == [3, 2, 1, 0]
+        assert (c * c).is_identity()
+
+    def test_rotation_remark_3_8(self):
+        rho = rotation(4)
+        assert [rho(i) for i in range(4)] == [1, 2, 3, 0]
+        assert rho.is_cyclic()
+
+    def test_rotation_shift(self):
+        assert rotation(5, 2).as_tuple() == (2, 3, 4, 0, 1)
+
+    def test_transposition(self):
+        t = transposition(4, 1, 3)
+        assert t.as_tuple() == (0, 3, 2, 1)
+        assert (t * t).is_identity()
+
+    def test_cycle_constructor(self):
+        p = cycle(5, [0, 2, 3])
+        assert p(0) == 2 and p(2) == 3 and p(3) == 0
+        assert p(1) == 1 and p(4) == 4
+
+    def test_cycle_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            cycle(4, [0, 1, 0])
+
+    def test_from_cycles(self):
+        p = from_cycles(5, [[0, 1], [2, 3, 4]])
+        assert p.cycle_type() == (2, 3)
+        with pytest.raises(ValueError):
+            from_cycles(5, [[0, 1], [1, 2]])
+
+
+class TestAlgebra:
+    def test_composition_order(self):
+        # (p * q)(i) == p(q(i))
+        p = Permutation([1, 2, 0])
+        q = Permutation([0, 2, 1])
+        composed = p * q
+        for i in range(3):
+            assert composed(i) == p(q(i))
+
+    def test_composition_size_mismatch(self):
+        with pytest.raises(ValueError):
+            identity(3) * identity(4)
+
+    def test_inverse(self):
+        p = Permutation([2, 3, 1, 0])
+        assert (p * p.inverse()).is_identity()
+        assert (p.inverse() * p).is_identity()
+
+    def test_powers(self):
+        rho = rotation(6)
+        assert (rho**0).is_identity()
+        assert (rho**6).is_identity()
+        assert (rho**2).as_tuple() == rotation(6, 2).as_tuple()
+        assert (rho**-1).as_tuple() == rho.inverse().as_tuple()
+
+    def test_power_definition_f_i_plus_1(self):
+        # The paper defines f^{i+1} = f o f^i.
+        f = Permutation([3, 4, 5, 2, 0, 1])
+        for i in range(8):
+            assert (f ** (i + 1)).as_tuple() == (f * (f**i)).as_tuple()
+
+    def test_order(self):
+        assert rotation(6).order() == 6
+        assert from_cycles(6, [[0, 1], [2, 3, 4]]).order() == 6
+        assert identity(4).order() == 1
+
+    def test_sign(self):
+        assert identity(4).sign() == 1
+        assert transposition(4, 0, 1).sign() == -1
+        assert rotation(3).sign() == 1  # 3-cycle is even
+
+    def test_apply_array(self):
+        c = complement(4)
+        assert np.array_equal(
+            c.apply_array(np.array([0, 1, 2, 3])), np.array([3, 2, 1, 0])
+        )
+        with pytest.raises(ValueError):
+            c.apply_array(np.array([4]))
+
+    def test_hash_and_eq(self):
+        assert identity(3) == Permutation([0, 1, 2])
+        assert hash(identity(3)) == hash(Permutation([0, 1, 2]))
+        assert identity(3) != rotation(3)
+        assert identity(3) != identity(4)
+
+
+class TestCycleStructure:
+    def test_orbit(self):
+        f = Permutation([3, 4, 5, 2, 0, 1])
+        assert f.orbit(2) == [2, 5, 1, 4, 0, 3]
+
+    def test_cycles_partition(self):
+        p = from_cycles(7, [[0, 3], [1, 4, 5]])
+        cycles = p.cycles()
+        flattened = sorted(v for cyc in cycles for v in cyc)
+        assert flattened == list(range(7))
+
+    def test_is_cyclic(self):
+        assert rotation(5).is_cyclic()
+        assert not identity(5).is_cyclic()
+        assert not from_cycles(6, [[0, 1, 2], [3, 4, 5]]).is_cyclic()
+        assert Permutation([0]).is_cyclic()  # the single fixed point is a 1-cycle
+
+    def test_fixed_points(self):
+        p = cycle(5, [0, 2])
+        assert p.fixed_points() == [1, 3, 4]
+
+    def test_example_3_3_2_not_cyclic(self):
+        # f(i) = 2 - i on Z_3 is not cyclic (1 is fixed).
+        f = Permutation([2, 1, 0])
+        assert not f.is_cyclic()
+        assert f.cycle_type() == (1, 2)
+
+
+class TestWordActions:
+    def test_apply_word_definition_3_6(self):
+        sigma = complement(3)
+        assert sigma.apply_word((0, 1, 2)) == (2, 1, 0)
+
+    def test_permute_positions_rotation(self):
+        # Remark 3.8: ->rho performs the de Bruijn left rotation.
+        rho = rotation(3)
+        assert rho.permute_positions((1, 2, 3)) == (2, 3, 1)
+
+    def test_permute_positions_example_3_3_1(self):
+        # ->f(x5 x4 x3 x2 x1 x0) = x2 x1 x0 x3 x5 x4 for the example's f.
+        f = Permutation([3, 4, 5, 2, 0, 1])
+        word = (5, 4, 3, 2, 1, 0)  # letter value == its position
+        assert f.permute_positions(word) == (2, 1, 0, 3, 5, 4)
+
+    def test_permute_positions_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rotation(3).permute_positions((1, 2))
+
+    def test_position_matrix(self):
+        f = rotation(3)
+        mat = f.position_matrix()
+        assert mat.shape == (3, 3)
+        assert np.array_equal(mat @ mat @ mat, np.eye(3, dtype=np.int64))
+        # column i has its 1 in row f(i)
+        for i in range(3):
+            assert mat[f(i), i] == 1
+
+
+class TestGeneratorsAndCounting:
+    def test_random_permutation_is_valid(self):
+        rng = np.random.default_rng(42)
+        for _ in range(10):
+            p = random_permutation(6, rng)
+            assert sorted(p.as_tuple()) == list(range(6))
+
+    def test_random_cyclic_permutation_is_cyclic(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            assert random_cyclic_permutation(7, rng).is_cyclic()
+
+    def test_all_permutations_count(self):
+        assert sum(1 for _ in all_permutations(4)) == math.factorial(4)
+
+    def test_all_cyclic_permutations_count_and_cyclicity(self):
+        perms = list(all_cyclic_permutations(5))
+        assert len(perms) == math.factorial(4)
+        assert all(p.is_cyclic() for p in perms)
+        assert len({p.as_tuple() for p in perms}) == len(perms)
+
+    def test_count_debruijn_definitions(self):
+        # Section 3.2: d!(D-1)! alternative definitions.
+        assert count_debruijn_definitions(2, 3) == 2 * 2
+        assert count_debruijn_definitions(3, 4) == 6 * 6
+        with pytest.raises(ValueError):
+            count_debruijn_definitions(0, 3)

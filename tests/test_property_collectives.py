@@ -1,0 +1,107 @@
+"""Property-based tests for the routing / collective / simulation substrates.
+
+Invariants checked on randomly generated strongly connected regular digraphs
+(built by relabelling de Bruijn and Kautz digraphs, plus random circulants):
+
+* broadcast schedules are valid under their port model and inform everyone,
+* single-port broadcast is never faster than all-port,
+* all-port gossip finishes in exactly the diameter,
+* the network simulator delivers every message of a random workload, each
+  over at least the shortest-path number of hops,
+* simulated hop counts equal routing-table distances when there is no
+  contention (one message at a time).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.digraph import RegularDigraph
+from repro.graphs.generators import de_bruijn, kautz
+from repro.graphs.properties import diameter
+from repro.graphs.traversal import is_strongly_connected
+from repro.routing.broadcast import (
+    all_port_broadcast_schedule,
+    single_port_broadcast_schedule,
+)
+from repro.routing.gossip import all_port_gossip_schedule
+from repro.routing.paths import build_routing_table
+from repro.simulation.network import LinkModel, NetworkSimulator
+from repro.simulation.workloads import uniform_random_pairs
+
+
+@st.composite
+def connected_regular_digraph(draw):
+    """A small strongly connected regular digraph with a scrambled labelling."""
+    family = draw(st.sampled_from(["debruijn", "kautz", "circulant"]))
+    if family == "debruijn":
+        d = draw(st.integers(2, 3))
+        D = draw(st.integers(2, 3))
+        graph = de_bruijn(d, D)
+    elif family == "kautz":
+        d = draw(st.integers(2, 3))
+        D = draw(st.integers(2, 3))
+        graph = kautz(d, D)
+    else:
+        n = draw(st.integers(4, 20))
+        offsets = draw(
+            st.lists(st.integers(1, n - 1), min_size=1, max_size=3, unique=True)
+        )
+        successors = [[(u + off) % n for off in offsets] for u in range(n)]
+        graph = RegularDigraph(successors)
+        if not is_strongly_connected(graph):
+            # offset 1 always yields a connected circulant; force it in.
+            successors = [[(u + 1) % n] + row[:-1] for u, row in enumerate(successors)]
+            graph = RegularDigraph(successors)
+    seed = draw(st.integers(0, 2**16))
+    mapping = np.random.default_rng(seed).permutation(graph.num_vertices)
+    return graph.relabel(mapping)
+
+
+@given(graph=connected_regular_digraph(), data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_broadcast_schedules_valid_and_complete(graph, data):
+    root = data.draw(st.integers(0, graph.num_vertices - 1))
+    all_port = all_port_broadcast_schedule(graph, root)
+    single_port = single_port_broadcast_schedule(graph, root)
+    assert all_port.covers_all() and single_port.covers_all()
+    assert all_port.is_valid(graph, single_port=False)
+    assert single_port.is_valid(graph, single_port=True)
+    assert single_port.num_rounds >= all_port.num_rounds
+    # all-port broadcast time equals the root's eccentricity
+    assert all_port.num_rounds <= diameter(graph)
+
+
+@given(graph=connected_regular_digraph())
+@settings(max_examples=20, deadline=None)
+def test_gossip_completes_in_diameter_rounds(graph):
+    schedule = all_port_gossip_schedule(graph)
+    assert schedule.completed()
+    assert schedule.num_rounds == diameter(graph)
+    assert bool(np.all(schedule.knowledge_counts[-1] == graph.num_vertices))
+
+
+@given(graph=connected_regular_digraph(), data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_simulator_delivers_everything(graph, data):
+    seed = data.draw(st.integers(0, 1000))
+    traffic = uniform_random_pairs(graph.num_vertices, 30, rng=seed)
+    simulator = NetworkSimulator(graph, link=LinkModel(latency=1.0, transmission_time=0.2))
+    stats, messages = simulator.run(traffic)
+    assert stats.delivered == 30
+    table = build_routing_table(graph)
+    for message in messages:
+        shortest = table.distance[message.source, message.destination]
+        assert message.hops >= shortest
+        assert message.latency >= 0
+
+
+@given(graph=connected_regular_digraph(), data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_uncontended_message_follows_shortest_path(graph, data):
+    source = data.draw(st.integers(0, graph.num_vertices - 1))
+    target = data.draw(st.integers(0, graph.num_vertices - 1))
+    simulator = NetworkSimulator(graph)
+    stats, messages = simulator.run([(source, target, 0.0)])
+    table = build_routing_table(graph)
+    assert messages[0].hops == table.distance[source, target]

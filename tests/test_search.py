@@ -1,0 +1,119 @@
+"""Tests for the Table 1 degree-diameter search (Section 4.3)."""
+
+import pytest
+
+from repro.graphs.generators import de_bruijn, kautz
+from repro.graphs.properties import diameter
+from repro.otis.h_digraph import h_digraph
+from repro.otis.search import (
+    PAPER_TABLE1,
+    DegreeDiameterResult,
+    candidate_splits,
+    compare_with_paper,
+    degree_diameter_search,
+    h_diameter,
+    table1_rows,
+)
+
+
+class TestCandidateSplits:
+    def test_splits(self):
+        assert candidate_splits(8, 2) == [(1, 16), (2, 8), (4, 4)]
+        assert candidate_splits(6, 2) == [(1, 12), (2, 6), (3, 4)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            candidate_splits(0, 2)
+
+
+class TestHDiameter:
+    def test_matches_generic_diameter(self):
+        for p, q, d in [(4, 8, 2), (2, 12, 2), (2, 16, 2), (3, 9, 3)]:
+            H = h_digraph(p, q, d)
+            assert h_diameter(H) == diameter(H)
+
+    def test_disconnected_returns_minus_one(self):
+        # H(8, 64, 2) is disconnected (non-cyclic f, Section 4.3).
+        assert h_diameter(h_digraph(8, 64, 2)) == -1
+
+    def test_upper_bound_early_exit(self):
+        H = h_digraph(2, 64, 2)  # B(2, 6)-like, diameter 6
+        assert h_diameter(H, upper_bound=3) == 4  # sentinel "too large"
+        assert h_diameter(H, upper_bound=10) == 6
+
+    def test_trivial_graph(self):
+        assert h_diameter(h_digraph(1, 2, 2)) == 0
+
+
+class TestSmallSearches:
+    def test_debruijn_2_4_found_at_diameter_4(self):
+        result = degree_diameter_search(2, 4, 14, 17)
+        assert result.splits_for(16) == [(2, 16), (4, 8)]
+        assert result.largest_n >= 16
+
+    def test_kautz_2_4_found_at_diameter_4(self):
+        # K(2, 4) has 24 nodes and an OTIS(2, 24) layout of diameter 4.
+        result = degree_diameter_search(2, 4, 16, 30)
+        assert (2, 24) in result.splits_for(24)
+        assert result.largest_n >= 24
+
+    def test_require_exact_vs_at_most(self):
+        exact = degree_diameter_search(2, 5, 16, 16)
+        relaxed = degree_diameter_search(2, 5, 16, 16, require_exact=False)
+        # B(2, 4) has diameter 4 < 5: excluded when exact, included otherwise.
+        assert exact.splits_for(16) == []
+        assert relaxed.splits_for(16) != []
+
+    def test_result_table_rendering(self):
+        result = degree_diameter_search(2, 4, 16, 24)
+        text = result.as_table()
+        assert "B(2,4)" in text
+        assert "K(2,4)" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            degree_diameter_search(2, 4, 10, 5)
+
+
+class TestTable1:
+    def test_table1_diameter_8_block_around_debruijn(self):
+        # The rows 253..258 of Table 1, including the three splits at n=256.
+        result = table1_rows(8, n_min=253, n_max=258)
+        assert result.splits_for(253) == [(2, 253)]
+        assert result.splits_for(254) == [(2, 254)]
+        assert result.splits_for(255) == [(2, 255)]
+        assert result.splits_for(256) == [(2, 256), (4, 128), (16, 32)]
+        assert result.splits_for(257) == []  # the paper's table skips 257
+        assert result.splits_for(258) == [(2, 258)]
+
+    def test_table1_comparison_helper(self):
+        result = table1_rows(8, n_min=253, n_max=258)
+        report = compare_with_paper(result)
+        assert report["all_match"]
+        assert report["rows_compared"] == 5
+
+    def test_table1_kautz_top_row_diameter_8(self):
+        result = table1_rows(8, n_min=384, n_max=384)
+        assert result.splits_for(384) == [(2, 384)]
+
+    def test_printed_rows_only_mode(self):
+        result = table1_rows(9, printed_rows_only=True, n_min=509, n_max=513)
+        assert result.splits_for(512) == [(2, 512), (8, 128)]
+        assert result.splits_for(509) == [(2, 509)]
+
+    def test_unknown_diameter_requires_range(self):
+        with pytest.raises(ValueError):
+            table1_rows(6)
+
+    def test_paper_table_constants(self):
+        # The stored table's landmark rows match the closed-form orders.
+        for D in (8, 9, 10):
+            ns = [n for n, _ in PAPER_TABLE1[D]]
+            assert 2**D in ns  # de Bruijn row
+            assert 3 * 2 ** (D - 1) == ns[-1]  # Kautz row is the largest
+
+    def test_diameters_of_named_digraphs(self):
+        # Independent confirmation that the table's landmarks have the right
+        # diameter through the direct generators.
+        assert diameter(de_bruijn(2, 8)) == 8
+        assert diameter(kautz(2, 8)) == 8

@@ -1,0 +1,221 @@
+"""Tests for the discrete-event engine and the network simulator."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import circuit, de_bruijn, kautz, ring
+from repro.simulation.events import EventQueue, Simulator
+from repro.simulation.network import LinkModel, NetworkSimulator
+from repro.simulation.protocols import (
+    run_broadcast,
+    run_gossip_traffic,
+    run_point_to_point,
+    run_random_traffic,
+)
+from repro.simulation.workloads import (
+    all_to_all_pairs,
+    broadcast_pairs,
+    hotspot_pairs,
+    permutation_pairs,
+    poisson_arrival_times,
+    uniform_random_pairs,
+)
+
+
+class TestEventQueue:
+    def test_ordering_by_time(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda: order.append("b"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(3.0, lambda: order.append("c"))
+        while len(queue):
+            queue.pop().action()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_for_equal_times(self):
+        queue = EventQueue()
+        order = []
+        for label in "abc":
+            queue.push(1.0, lambda lab=label: order.append(lab))
+        while len(queue):
+            queue.pop().action()
+        assert order == ["a", "b", "c"]
+
+    def test_pop_empty(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, lambda: None)
+
+
+class TestSimulator:
+    def test_time_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(5.0, lambda: times.append(sim.now))
+        sim.schedule(2.0, lambda: times.append(sim.now))
+        end = sim.run()
+        assert times == [2.0, 5.0]
+        assert end == 5.0
+        assert sim.events_processed == 2
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(sim.now)
+            sim.schedule(3.0, lambda: log.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [1.0, 4.0]
+
+    def test_until_and_max_events(self):
+        sim = Simulator()
+        counter = []
+        for t in range(10):
+            sim.schedule(float(t), lambda: counter.append(1))
+        sim.run(until=4.5)
+        assert len(counter) == 5
+        sim2 = Simulator()
+        for t in range(10):
+            sim2.schedule(float(t), lambda: counter.append(1))
+        sim2.run(max_events=3)
+        assert sim2.events_processed == 3
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+
+class TestWorkloads:
+    def test_uniform_random(self):
+        traffic = uniform_random_pairs(16, 100, rng=0)
+        assert len(traffic) == 100
+        assert all(0 <= s < 16 and 0 <= t < 16 and s != t for s, t, _ in traffic)
+        assert all(time == 0.0 for _, _, time in traffic)
+
+    def test_uniform_random_with_rate(self):
+        traffic = uniform_random_pairs(8, 50, rng=1, rate=2.0)
+        times = [time for _, _, time in traffic]
+        assert times == sorted(times)
+        assert times[-1] > 0
+
+    def test_permutation(self):
+        traffic = permutation_pairs(10, rng=3)
+        destinations = [t for _, t, _ in traffic]
+        assert sorted(destinations) == list(range(10))
+        assert all(s != t for s, t, _ in traffic)
+
+    def test_hotspot(self):
+        traffic = hotspot_pairs(16, 200, hotspot=5, hotspot_fraction=0.9, rng=2)
+        to_hotspot = sum(1 for _, t, _ in traffic if t == 5)
+        assert to_hotspot > 100  # overwhelming majority targets the hotspot
+
+    def test_broadcast_and_all_to_all(self):
+        assert len(broadcast_pairs(8, root=3)) == 7
+        assert len(all_to_all_pairs(5)) == 20
+        with pytest.raises(ValueError):
+            broadcast_pairs(4, root=9)
+
+    def test_poisson_times(self):
+        times = poisson_arrival_times(100, 4.0, rng=0)
+        assert len(times) == 100
+        assert np.all(np.diff(times) >= 0)
+        with pytest.raises(ValueError):
+            poisson_arrival_times(5, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_random_pairs(1, 5)
+        with pytest.raises(ValueError):
+            hotspot_pairs(8, 10, hotspot_fraction=2.0)
+
+
+class TestNetworkSimulator:
+    def test_single_message_latency(self):
+        # one hop: transmission + latency
+        link = LinkModel(latency=2.0, transmission_time=1.0)
+        result = run_point_to_point(de_bruijn(2, 3), 0, 1, link=link)
+        assert result["delivered"] == 1.0
+        assert result["hops"] == 1.0
+        assert result["latency"] == pytest.approx(3.0)
+
+    def test_multi_hop_latency_matches_distance(self):
+        d, D = 2, 4
+        link = LinkModel(latency=1.0, transmission_time=0.5)
+        B = de_bruijn(d, D)
+        from repro.routing.paths import debruijn_distance
+
+        for target in (3, 9, 15):
+            result = run_point_to_point(B, 0, target, link=link)
+            hops = debruijn_distance(0, target, d, D)
+            assert result["hops"] == hops
+            assert result["latency"] == pytest.approx(hops * 1.5)
+
+    def test_self_message(self):
+        result = run_point_to_point(de_bruijn(2, 3), 5, 5)
+        assert result["hops"] == 0.0
+        assert result["latency"] == 0.0
+
+    def test_contention_serialises_on_shared_link(self):
+        # Two messages injected at the same node towards the same next hop
+        # must be serialised by the transmission time.
+        C = circuit(4)
+        simulator = NetworkSimulator(C, link=LinkModel(latency=0.0, transmission_time=2.0))
+        stats, messages = simulator.run([(0, 1, 0.0), (0, 1, 0.0)])
+        assert stats.delivered == 2
+        latencies = sorted(m.latency for m in messages)
+        assert latencies == [2.0, 4.0]
+        assert stats.max_link_queue >= 1
+
+    def test_all_messages_delivered_random_traffic(self):
+        stats = run_random_traffic(de_bruijn(2, 4), 200, seed=7)
+        assert stats.delivered == 200
+        assert stats.undelivered == 0
+        assert stats.mean_hops <= 4
+        assert stats.throughput() > 0
+
+    def test_undelivered_on_disconnected(self):
+        from repro.graphs.digraph import Digraph
+
+        g = Digraph(3, arcs=[(0, 1), (1, 0), (1, 2)])
+        simulator = NetworkSimulator(g)
+        stats, _ = simulator.run([(2, 0, 0.0)])
+        assert stats.delivered == 0
+        assert stats.undelivered == 1
+
+    def test_invalid_endpoints(self):
+        simulator = NetworkSimulator(circuit(3))
+        with pytest.raises(ValueError):
+            simulator.run([(0, 9, 0.0)])
+
+
+class TestProtocols:
+    def test_broadcast_comparison(self):
+        result = run_broadcast(de_bruijn(2, 4), root=0)
+        assert result["all_port_rounds"] == 4.0
+        assert result["single_port_rounds"] >= 4.0
+        assert result["covers_all"] == 1.0
+        assert result["unicast_makespan"] > 0
+
+    def test_gossip_protocol(self):
+        result = run_gossip_traffic(kautz(2, 3))
+        assert result["rounds"] == 3.0
+        assert result["complete"] == 1.0
+
+    def test_debruijn_beats_ring_on_latency(self):
+        # The whole point of using B(d, D): logarithmic diameter.
+        n = 64
+        debruijn_stats = run_random_traffic(de_bruijn(2, 6), 300, seed=5)
+        ring_stats = run_random_traffic(ring(n), 300, seed=5)
+        assert debruijn_stats.mean_hops < ring_stats.mean_hops

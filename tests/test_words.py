@@ -1,0 +1,181 @@
+"""Unit tests for repro.words — radix-d word arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro import words
+
+
+class TestConversions:
+    def test_word_to_int_binary(self):
+        assert words.word_to_int((1, 0, 1), 2) == 5
+        assert words.word_to_int((0, 0, 0), 2) == 0
+        assert words.word_to_int((1, 1, 1), 2) == 7
+
+    def test_word_to_int_ternary(self):
+        assert words.word_to_int((2, 1, 0), 3) == 2 * 9 + 1 * 3 + 0
+
+    def test_int_to_word_roundtrip_small(self):
+        for d in (2, 3, 4):
+            for D in (1, 2, 3):
+                for value in range(d**D):
+                    word = words.int_to_word(value, d, D)
+                    assert len(word) == D
+                    assert words.word_to_int(word, d) == value
+
+    def test_int_to_word_known(self):
+        assert words.int_to_word(5, 2, 3) == (1, 0, 1)
+        assert words.int_to_word(0, 2, 3) == (0, 0, 0)
+
+    def test_out_of_range_digit_rejected(self):
+        with pytest.raises(ValueError):
+            words.word_to_int((2, 0), 2)
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(ValueError):
+            words.int_to_word(8, 2, 3)
+        with pytest.raises(ValueError):
+            words.int_to_word(-1, 2, 3)
+
+    def test_invalid_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            words.check_alphabet(0)
+        with pytest.raises(ValueError):
+            words.check_alphabet(2, 0)
+
+
+class TestWordLength:
+    def test_exact_powers(self):
+        assert words.word_length(8, 2) == 3
+        assert words.word_length(81, 3) == 4
+        assert words.word_length(2, 2) == 1
+
+    def test_non_power_rejected(self):
+        with pytest.raises(ValueError):
+            words.word_length(10, 2)
+
+    def test_degenerate_alphabet(self):
+        assert words.word_length(1, 1) == 1
+        with pytest.raises(ValueError):
+            words.word_length(2, 1)
+
+
+class TestVectorised:
+    def test_word_table_matches_scalar(self):
+        for d, D in ((2, 3), (3, 2), (4, 2)):
+            table = words.word_table(d, D)
+            assert table.shape == (d**D, D)
+            for u in range(d**D):
+                assert tuple(table[u]) == words.int_to_word(u, d, D)
+
+    def test_words_to_ints_roundtrip(self):
+        table = words.word_table(3, 3)
+        values = words.words_to_ints(table, 3)
+        assert np.array_equal(values, np.arange(27))
+
+    def test_ints_to_words_roundtrip(self):
+        values = np.arange(16)
+        table = words.ints_to_words(values, 2, 4)
+        assert np.array_equal(words.words_to_ints(table, 2), values)
+
+    def test_words_to_ints_validates(self):
+        with pytest.raises(ValueError):
+            words.words_to_ints(np.array([[0, 5]]), 2)
+        with pytest.raises(ValueError):
+            words.words_to_ints(np.array([0, 1]), 2)  # 1-D
+
+    def test_ints_to_words_validates(self):
+        with pytest.raises(ValueError):
+            words.ints_to_words(np.array([9]), 2, 3)
+
+
+class TestShifts:
+    def test_left_shift(self):
+        assert words.left_shift((1, 0, 1), 0, 2) == (0, 1, 0)
+        assert words.left_shift((1, 0, 1), 1, 2) == (0, 1, 1)
+
+    def test_right_shift(self):
+        assert words.right_shift((1, 0, 1), 0, 2) == (0, 1, 0)
+        assert words.right_shift((1, 0, 1), 1, 2) == (1, 1, 0)
+
+    def test_shift_inverse_relationship(self):
+        word = (2, 0, 1, 2)
+        shifted = words.left_shift(word, 1, 3)
+        # Right-shifting back with the dropped first digit restores the word.
+        assert words.right_shift(shifted, word[0], 3) == word
+
+    def test_shift_validates_digit(self):
+        with pytest.raises(ValueError):
+            words.left_shift((0, 1), 2, 2)
+        with pytest.raises(ValueError):
+            words.right_shift((0, 1), 5, 2)
+
+
+class TestDigitAccess:
+    def test_digit_positions_from_right(self):
+        # word x2 x1 x0 = (1, 0, 1): x0 = 1, x1 = 0, x2 = 1
+        assert words.digit((1, 0, 1), 0) == 1
+        assert words.digit((1, 0, 1), 1) == 0
+        assert words.digit((1, 0, 1), 2) == 1
+
+    def test_with_digit(self):
+        assert words.with_digit((1, 0, 1), 1, 1, 2) == (1, 1, 1)
+        assert words.with_digit((1, 0, 1), 2, 0, 2) == (0, 0, 1)
+
+    def test_digit_out_of_range(self):
+        with pytest.raises(ValueError):
+            words.digit((1, 0), 2)
+        with pytest.raises(ValueError):
+            words.with_digit((1, 0), 3, 0, 2)
+
+
+class TestConcatSplit:
+    def test_concat(self):
+        assert words.concat((1, 0), (2,), (0, 1)) == (1, 0, 2, 0, 1)
+
+    def test_split(self):
+        assert words.split((1, 0, 2, 0, 1), 2, 1, 2) == ((1, 0), (2,), (0, 1))
+
+    def test_split_bad_lengths(self):
+        with pytest.raises(ValueError):
+            words.split((1, 0, 1), 2, 2)
+
+    def test_split_concat_roundtrip(self):
+        word = (0, 1, 2, 3, 0, 1)
+        parts = words.split(word, 1, 3, 2)
+        assert words.concat(*parts) == word
+
+
+class TestDistances:
+    def test_hamming(self):
+        assert words.hamming_distance((1, 0, 1), (1, 1, 1)) == 1
+        assert words.hamming_distance((0, 0), (1, 1)) == 2
+        assert words.hamming_distance((1, 2, 3), (1, 2, 3)) == 0
+
+    def test_hamming_length_mismatch(self):
+        with pytest.raises(ValueError):
+            words.hamming_distance((1,), (1, 0))
+
+    def test_longest_overlap_full(self):
+        assert words.longest_overlap((1, 0, 1), (1, 0, 1)) == 3
+
+    def test_longest_overlap_partial(self):
+        # suffix "01" of 101 is prefix of 011
+        assert words.longest_overlap((1, 0, 1), (0, 1, 1)) == 2
+
+    def test_longest_overlap_none(self):
+        assert words.longest_overlap((0, 0, 0), (1, 1, 1)) == 0
+
+    def test_overlap_drives_debruijn_distance(self):
+        # distance in B(2, D) is D - overlap; spot check against BFS.
+        from repro.graphs import de_bruijn
+        from repro.graphs.traversal import bfs_distances
+
+        d, D = 2, 4
+        graph = de_bruijn(d, D)
+        dist0 = bfs_distances(graph, 0)
+        source = words.int_to_word(0, d, D)
+        for target_value in range(d**D):
+            target = words.int_to_word(target_value, d, D)
+            expected = D - words.longest_overlap(source, target)
+            assert dist0[target_value] == expected
