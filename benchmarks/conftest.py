@@ -11,6 +11,13 @@ the default calibrated timing.
 import pytest
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "table1: Table 1 reproduction benchmarks (deselect with -m 'not table1')",
+    )
+
+
 def run_once(benchmark, func, *args, **kwargs):
     """Run an expensive reproduction exactly once under the benchmark timer."""
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -15,13 +15,19 @@ isomorphism machinery (:mod:`repro.core`) and the OTIS optical layouts
   (Definition 2.3), line digraph, reverse, disjoint union, relabelling,
 * traversal and metric properties (:mod:`repro.graphs.traversal`,
   :mod:`repro.graphs.properties`): BFS, strongly/weakly connected components,
-  diameter (vectorised through :mod:`scipy.sparse.csgraph` with a pure-Python
-  fallback), girth, Moore bounds,
+  diameter and eccentricities (batched bit-parallel sweep in
+  :mod:`repro.graphs.apsp`, with :mod:`scipy.sparse.csgraph` and pure-Python
+  reference paths), girth, Moore bounds,
 * a generic digraph isomorphism tester (:mod:`repro.graphs.isomorphism`) used
   as the *baseline* against the paper's O(D) structural checks,
 * networkx interoperability (:mod:`repro.graphs.nx_interop`).
 """
 
+from repro.graphs.apsp import (
+    batched_eccentricities,
+    bit_distance_matrix,
+    pairwise_distance_sum,
+)
 from repro.graphs.digraph import Digraph, RegularDigraph
 from repro.graphs.generators import (
     circuit,
@@ -34,11 +40,14 @@ from repro.graphs.generators import (
 from repro.graphs.isomorphism import are_isomorphic, find_isomorphism, is_isomorphism
 from repro.graphs.operations import conjunction, line_digraph, relabel, reverse
 from repro.graphs.properties import (
+    average_distance,
     diameter,
     distance_matrix,
+    eccentricities,
     girth,
     is_strongly_connected,
     is_weakly_connected,
+    radius,
 )
 
 __all__ = [
@@ -56,7 +65,13 @@ __all__ = [
     "relabel",
     "diameter",
     "distance_matrix",
+    "eccentricities",
+    "radius",
+    "average_distance",
     "girth",
+    "batched_eccentricities",
+    "bit_distance_matrix",
+    "pairwise_distance_sum",
     "is_strongly_connected",
     "is_weakly_connected",
     "are_isomorphic",

@@ -4,16 +4,22 @@ The quantity that matters most for the paper's evaluation is the **diameter**:
 Table 1 reports, for degree 2 and diameters 8, 9 and 10, the largest OTIS
 digraphs ``H(p, q, 2)`` found by exhaustive search.  Regenerating that table
 requires thousands of diameter computations on digraphs with up to ~1500
-vertices, so :func:`distance_matrix` has two code paths:
+vertices, so the metric functions have three code paths:
 
-* ``method="scipy"`` (default when available) — the sparse adjacency matrix is
-  handed to :func:`scipy.sparse.csgraph.shortest_path` with the unweighted
-  flag, which runs BFS from every source in compiled code;
+* ``method="bitset"`` (the default for :func:`eccentricities`,
+  :func:`diameter`, :func:`radius` and :func:`average_distance`) — the
+  batched bit-parallel sweep of :mod:`repro.graphs.apsp`, which processes 64
+  BFS sources per machine word and never materialises an ``n × n`` distance
+  matrix;
+* ``method="scipy"`` — the sparse adjacency matrix is handed to
+  :func:`scipy.sparse.csgraph.shortest_path` with the unweighted flag, which
+  runs BFS from every source in compiled code (the default for
+  :func:`distance_matrix`, whose output *is* the full matrix);
 * ``method="python"`` — repeated :func:`repro.graphs.traversal.bfs_distances`
   (or the vectorised frontier BFS for :class:`RegularDigraph`), used as the
   reference implementation and as a fallback.
 
-Unit tests assert both paths produce identical matrices, as the HPC guide
+Unit tests assert all paths produce identical results, as the HPC guide
 recommends when an optimised path shadows a straightforward one.
 """
 
@@ -21,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.graphs.apsp import batched_eccentricities, pairwise_distance_sum
 from repro.graphs.digraph import BaseDigraph, RegularDigraph
 from repro.graphs.traversal import (
     bfs_distances,
@@ -96,17 +103,19 @@ def distance_matrix(graph: BaseDigraph, method: str = "auto") -> np.ndarray:
 
 def eccentricities(graph: BaseDigraph, method: str = "auto") -> np.ndarray:
     """Out-eccentricity of every vertex; ``-1`` marks vertices that cannot
-    reach the whole digraph."""
+    reach the whole digraph.
+
+    ``method="auto"``/``"bitset"`` uses the batched bit-parallel sweep of
+    :mod:`repro.graphs.apsp` (no ``n × n`` matrix); ``"scipy"``/``"python"``
+    go through :func:`distance_matrix` and serve as cross-checked references.
+    """
+    if method in ("auto", "bitset"):
+        ecc, _ = batched_eccentricities(graph)
+        return ecc
     dist = distance_matrix(graph, method=method)
-    n = graph.num_vertices
-    ecc = np.empty(n, dtype=np.int64)
-    for u in range(n):
-        row = dist[u]
-        if np.any(row < 0):
-            ecc[u] = -1
-        else:
-            ecc[u] = row.max()
-    return ecc
+    unreachable = (dist < 0).any(axis=1)
+    ecc = np.where(unreachable, -1, dist.max(axis=1, initial=0))
+    return ecc.astype(np.int64)
 
 
 def diameter(graph: BaseDigraph, method: str = "auto") -> int:
@@ -142,6 +151,13 @@ def average_distance(graph: BaseDigraph, method: str = "auto") -> float:
     n = graph.num_vertices
     if n < 2:
         return 0.0
+    if method in ("auto", "bitset"):
+        total, complete = pairwise_distance_sum(graph)
+        if not complete:
+            raise ValueError(
+                "average_distance requires a strongly connected digraph"
+            )
+        return total / (n * (n - 1))
     dist = distance_matrix(graph, method=method)
     off_diagonal = ~np.eye(n, dtype=bool)
     values = dist[off_diagonal]
@@ -158,30 +174,50 @@ def girth(graph: BaseDigraph, max_length: int | None = None) -> int:
     ``max_length``.
     """
     n = graph.num_vertices
+    # Loops first: once no vertex has a loop, no cycle shorter than 2 exists,
+    # which is what makes the 2-cycle early exit below sound.
+    for u in range(n):
+        if u in graph.out_neighbors(u):
+            return 1
     best: int | None = None
     for u in range(n):
-        successors = set(graph.out_neighbors(u))
-        if u in successors:
-            return 1  # a loop is the shortest possible cycle
-        # Shortest cycle through u is 1 + min distance from a successor back to u.
-        for v in successors:
-            back = _distance_between(graph, v, u)
+        # Shortest cycle through u is 1 + min distance from a successor back
+        # to u; the BFS is truncated at the tightest useful cutoff (improving
+        # on the best cycle found so far, never beyond max_length).
+        for v in set(graph.out_neighbors(u)):
+            cutoff: int | None = None
+            if best is not None:
+                cutoff = best - 2  # a shorter cycle needs back <= best - 2
+            if max_length is not None:
+                cutoff = (
+                    max_length - 1 if cutoff is None else min(cutoff, max_length - 1)
+                )
+            back = _distance_between(graph, v, u, cutoff=cutoff)
             if back < 0:
                 continue
             length = back + 1
-            if max_length is not None and length > max_length:
-                continue
             if best is None or length < best:
                 best = length
+            if best == 2:
+                return 2  # nothing shorter remains after the loop check
     return -1 if best is None else int(best)
 
 
-def _distance_between(graph: BaseDigraph, source: int, target: int) -> int:
-    """Distance from ``source`` to ``target`` (early-exit BFS)."""
+def _distance_between(
+    graph: BaseDigraph, source: int, target: int, cutoff: int | None = None
+) -> int:
+    """Distance from ``source`` to ``target`` (early-exit BFS).
+
+    With a ``cutoff`` the BFS never expands beyond that depth and returns
+    ``-1`` when the distance exceeds it — the truncation :func:`girth`
+    advertises for its ``max_length`` argument.
+    """
     from collections import deque
 
     if source == target:
         return 0
+    if cutoff is not None and cutoff < 1:
+        return -1
     n = graph.num_vertices
     seen = np.zeros(n, dtype=bool)
     seen[source] = True
@@ -191,7 +227,7 @@ def _distance_between(graph: BaseDigraph, source: int, target: int) -> int:
         for v in graph.out_neighbors(u):
             if v == target:
                 return d + 1
-            if not seen[v]:
+            if not seen[v] and (cutoff is None or d + 1 < cutoff):
                 seen[v] = True
                 queue.append((v, d + 1))
     return -1

@@ -27,6 +27,7 @@ from repro.graphs.digraph import BaseDigraph, RegularDigraph
 __all__ = [
     "bfs_distances",
     "bfs_distances_regular",
+    "reverse_bfs_distances_regular",
     "reachable_set",
     "weakly_connected_components",
     "strongly_connected_components",
@@ -79,6 +80,53 @@ def bfs_distances_regular(graph: RegularDigraph, source: int) -> np.ndarray:
         if candidates.size == 0:
             break
         # A vertex may be reached from several frontier vertices; keep one.
+        frontier = np.unique(candidates)
+        dist[frontier] = level
+    return dist
+
+
+def reverse_bfs_distances_regular(graph: RegularDigraph, target: int) -> np.ndarray:
+    """Distance from every vertex *to* ``target``; ``-1`` when it cannot reach it.
+
+    This is the reverse-direction counterpart of :func:`bfs_distances_regular`
+    and the second half of the connectivity screen used by the Table 1 search:
+    a digraph is strongly connected iff every vertex is reachable *from* 0 and
+    every vertex can reach 0.  The reverse adjacency is built once in CSR form
+    (a stable argsort of the flattened successor matrix) and each level gathers
+    the whole frontier's predecessors with a ragged fancy-index.
+    """
+    n = graph.num_vertices
+    if not 0 <= target < n:
+        raise ValueError(f"target {target} out of range")
+    successors = graph.successors
+    d = graph.degree
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[target] = 0
+    if d == 0:
+        return dist
+    heads = successors.ravel()
+    order = np.argsort(heads, kind="stable")
+    tails = order // d
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(heads, minlength=n), out=indptr[1:])
+
+    frontier = np.array([target], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        # Ragged gather: positions 0..counts[i]-1 within each block, offset
+        # by that block's start in the CSR tail array.
+        offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        indices = np.repeat(starts, counts) + (np.arange(total) - offsets)
+        candidates = tails[indices]
+        candidates = candidates[dist[candidates] < 0]
+        if candidates.size == 0:
+            break
         frontier = np.unique(candidates)
         dist[frontier] = level
     return dist

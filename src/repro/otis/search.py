@@ -14,29 +14,39 @@ This module re-runs that search:
 * :func:`candidate_splits` — all ``(p, q)`` with ``p*q = n*d`` and ``p <= q``
   (the paper lists layouts with ``p <= q``; the reverse split lays out the
   converse digraph, Section 4.2),
-* :func:`h_diameter` — staged diameter computation with early rejection
-  (connectivity and single-source eccentricity screens before the all-pairs
-  sweep),
+* :func:`h_diameter` — staged diameter computation with early rejection: a
+  forward BFS screen, a reverse BFS screen (together they decide strong
+  connectivity), then the batched bit-parallel eccentricity sweep of
+  :mod:`repro.graphs.apsp` with early abort at the target diameter,
 * :func:`degree_diameter_search` — sweep a range of ``n`` and report every
   ``(n, p, q)`` whose OTIS digraph has exactly the requested diameter,
+  optionally fanned out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+  with deterministic chunking over the ``n`` values,
 * :func:`table1_rows` — the paper's Table 1 rows regenerated (restricted, by
   default, to the ``n`` range the paper prints).
 
-The expensive part is the all-pairs BFS; it is delegated to
-:func:`repro.graphs.properties.distance_matrix`, which uses
-:mod:`scipy.sparse.csgraph` when available.
+The expensive part is the all-pairs stage; it runs on the bit-packed
+``(n, ceil(n/64))`` reachability matrix of
+:func:`repro.graphs.apsp.batched_eccentricities`, so no ``n × n`` int64
+distance matrix is ever materialised on the search path (the matrix-based
+:func:`repro.graphs.properties.distance_matrix` remains available as a
+cross-checked reference).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.graphs.apsp import batched_eccentricities
 from repro.graphs.digraph import RegularDigraph
 from repro.graphs.moore import kautz_order
-from repro.graphs.properties import distance_matrix
-from repro.graphs.traversal import bfs_distances_regular
+from repro.graphs.traversal import (
+    bfs_distances_regular,
+    reverse_bfs_distances_regular,
+)
 from repro.otis.h_digraph import h_digraph
 
 __all__ = [
@@ -107,29 +117,45 @@ def h_diameter(
     """Diameter of an OTIS digraph with staged early rejection.
 
     Returns ``-1`` when the digraph is not strongly connected.  When
-    ``upper_bound`` is given and a single-source eccentricity already exceeds
-    it, the (useless for the search) exact value is not computed and
+    ``upper_bound`` is given and a diameter lower bound already exceeds it,
+    the (useless for the search) exact value is not computed and
     ``upper_bound + 1`` is returned as a sentinel meaning "too large".
 
-    The screening order follows the cost ladder: one forward BFS (also detects
-    unreachable vertices), one check of the full sweep only for survivors.
+    The screening order follows the cost ladder:
+
+    1. one forward BFS from vertex 0 — detects forward-unreachable vertices
+       and yields the diameter lower bound ``ecc(0)``;
+    2. one reverse BFS to vertex 0 — together with stage 1 this decides
+       strong connectivity, and ``max_u d(u, 0)`` is another diameter lower
+       bound;
+    3. the batched bit-parallel eccentricity sweep
+       (:func:`repro.graphs.apsp.batched_eccentricities`), which aborts the
+       moment any eccentricity is certain to exceed ``upper_bound``.  No
+       ``(n, n)`` int64 matrix is allocated at any stage.
     """
     n = graph.num_vertices
     if n <= 1:
         return 0
-    # Stage 1: forward BFS from vertex 0 — detects forward-unreachable
-    # vertices and gives a lower bound on the diameter.
+    # Stage 1: forward BFS from vertex 0.
     dist0 = bfs_distances_regular(graph, 0)
     if np.any(dist0 < 0):
         return -1
-    ecc0 = int(dist0.max())
-    if upper_bound is not None and ecc0 > upper_bound:
+    if upper_bound is not None and int(dist0.max()) > upper_bound:
         return upper_bound + 1
-    # Stage 2: full all-pairs sweep.
-    dist = distance_matrix(graph)
-    if np.any(dist < 0):
+    # Stage 2: reverse BFS to vertex 0 — completes the connectivity check
+    # before the all-pairs stage is paid for.
+    rdist0 = reverse_bfs_distances_regular(graph, 0)
+    if np.any(rdist0 < 0):
         return -1
-    return int(dist.max())
+    if upper_bound is not None and int(rdist0.max()) > upper_bound:
+        return upper_bound + 1
+    # Stage 3: batched bit-parallel sweep over all sources at once.  The
+    # digraph is strongly connected by now, so an abort can only mean the
+    # diameter exceeds the bound.
+    ecc, aborted = batched_eccentricities(graph, upper_bound=upper_bound)
+    if aborted:
+        return upper_bound + 1
+    return int(ecc.max())
 
 
 @dataclass(frozen=True)
@@ -185,6 +211,39 @@ class DegreeDiameterResult:
         return "\n".join(lines)
 
 
+def _splits_with_diameter(
+    n: int, d: int, diameter: int, require_exact: bool
+) -> list[tuple[int, int]]:
+    """All OTIS splits of ``n`` nodes whose digraph passes the diameter test."""
+    found: list[tuple[int, int]] = []
+    for p, q in candidate_splits(n, d):
+        graph = h_digraph(p, q, d)
+        value = h_diameter(graph, upper_bound=diameter)
+        if value < 0 or value > diameter:
+            continue
+        if require_exact and value != diameter:
+            continue
+        found.append((p, q))
+    return found
+
+
+def _search_chunk(
+    payload: tuple[int, int, bool, list[int]],
+) -> list[tuple[int, list[tuple[int, int]]]]:
+    """Worker-pool unit: run one deterministic chunk of ``n`` values.
+
+    Module-level (picklable) so :class:`ProcessPoolExecutor` can ship it to
+    worker processes; used serially as well so both paths share one code path.
+    """
+    d, diameter, require_exact, n_chunk = payload
+    rows: list[tuple[int, list[tuple[int, int]]]] = []
+    for n in n_chunk:
+        found = _splits_with_diameter(n, d, diameter, require_exact)
+        if found:
+            rows.append((n, found))
+    return rows
+
+
 def degree_diameter_search(
     d: int,
     diameter: int,
@@ -193,6 +252,8 @@ def degree_diameter_search(
     *,
     require_exact: bool = True,
     n_values: list[int] | None = None,
+    workers: int | None = None,
+    chunk_size: int = 8,
 ) -> DegreeDiameterResult:
     """Exhaustive search over ``H(p, q, d)`` for a given diameter.
 
@@ -212,6 +273,16 @@ def degree_diameter_search(
         Optional explicit list of node counts to test instead of the full
         ``n_min..n_max`` sweep (used by the benchmarks to restrict the heavy
         diameter-10 block to the rows the paper prints).
+    workers:
+        When given and ``> 1``, the sweep is partitioned into contiguous
+        chunks of ``chunk_size`` node counts and fanned out over a
+        :class:`~concurrent.futures.ProcessPoolExecutor`.  The partitioning
+        is a pure function of the input (cf. the deterministic
+        work-splitting of Bobpp-style exhaustive search), and chunk results
+        are concatenated in submission order, so the result is identical to
+        the serial sweep regardless of worker scheduling.
+    chunk_size:
+        Node counts per worker chunk (only used with ``workers``).
 
     Returns
     -------
@@ -219,20 +290,26 @@ def degree_diameter_search(
     """
     if n_min < 1 or n_max < n_min:
         raise ValueError("need 1 <= n_min <= n_max")
-    sweep = range(n_min, n_max + 1) if n_values is None else sorted(set(n_values))
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    sweep = (
+        list(range(n_min, n_max + 1)) if n_values is None else sorted(set(n_values))
+    )
     rows: list[tuple[int, list[tuple[int, int]]]] = []
-    for n in sweep:
-        found: list[tuple[int, int]] = []
-        for p, q in candidate_splits(n, d):
-            graph = h_digraph(p, q, d)
-            value = h_diameter(graph, upper_bound=diameter)
-            if value < 0 or value > diameter:
-                continue
-            if require_exact and value != diameter:
-                continue
-            found.append((p, q))
-        if found:
-            rows.append((n, found))
+    if workers is not None and workers > 1 and len(sweep) > 1:
+        chunks = [
+            sweep[start : start + chunk_size]
+            for start in range(0, len(sweep), chunk_size)
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_search_chunk, (d, diameter, require_exact, chunk))
+                for chunk in chunks
+            ]
+            for future in futures:
+                rows.extend(future.result())
+    else:
+        rows = _search_chunk((d, diameter, require_exact, sweep))
     return DegreeDiameterResult(
         d=d, diameter=diameter, rows=rows, n_range=(n_min, n_max)
     )
@@ -245,6 +322,7 @@ def table1_rows(
     n_max: int | None = None,
     *,
     printed_rows_only: bool = False,
+    workers: int | None = None,
 ) -> DegreeDiameterResult:
     """Regenerate one block of Table 1.
 
@@ -272,7 +350,9 @@ def table1_rows(
         n_values = [
             n for n, _ in PAPER_TABLE1[diameter] if n_min <= n <= n_max
         ]
-    return degree_diameter_search(d, diameter, n_min, n_max, n_values=n_values)
+    return degree_diameter_search(
+        d, diameter, n_min, n_max, n_values=n_values, workers=workers
+    )
 
 
 def compare_with_paper(result: DegreeDiameterResult) -> dict[str, object]:

@@ -13,8 +13,10 @@ The Kautz digraph admits the same shift routing with the extra "no equal
 consecutive letters" constraint automatically satisfied by its words.
 
 For arbitrary digraphs (e.g. the raw ``H(p, q, d)`` of a candidate layout)
-:func:`build_routing_table` computes all-pairs next-hop tables by BFS, which
-the simulator uses directly.
+:func:`build_routing_table` computes all-pairs next-hop tables, by default on
+the bit-parallel frontier machinery of :mod:`repro.graphs.apsp` (the
+per-target reverse BFS survives as the cross-checked ``method="python"``
+reference); the simulator uses the table directly.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.graphs.apsp import bit_distance_matrix, padded_successor_matrix
 from repro.graphs.digraph import BaseDigraph
 from repro.words import int_to_word, longest_overlap, word_to_int
 
@@ -190,8 +193,42 @@ class RoutingTable:
         return True
 
 
-def build_routing_table(graph: BaseDigraph) -> RoutingTable:
-    """Compute the all-pairs next-hop table by reverse BFS from every target.
+def build_routing_table(graph: BaseDigraph, method: str = "auto") -> RoutingTable:
+    """Compute the all-pairs next-hop routing table.
+
+    ``method="auto"``/``"bitset"`` extracts the distance matrix from the
+    bit-parallel frontier sweep of :mod:`repro.graphs.apsp` and then picks,
+    for every pair, the first out-arc whose head is one step closer to the
+    target — a handful of whole-array operations per out-arc slot.
+    ``method="python"`` is the original per-target reverse BFS, kept as the
+    cross-checked reference (both produce identical ``distance`` arrays; the
+    ``next_hop`` choices may differ between methods but are always heads of
+    shortest-path arcs).
+    """
+    if method not in ("auto", "bitset", "python"):
+        raise ValueError(f"unknown method {method!r}")
+    if method == "python":
+        return _build_routing_table_python(graph)
+
+    n = graph.num_vertices
+    distance = bit_distance_matrix(graph)
+    successors = padded_successor_matrix(graph)
+    next_hop = np.full((n, n), -1, dtype=np.int64)
+    if n:
+        np.fill_diagonal(next_hop, np.arange(n, dtype=np.int64))
+    reachable = distance > 0
+    # Walk the arc slots last-to-first so the lowest slot wins ties, matching
+    # construction order.  Padding entries (the vertex itself) can never
+    # satisfy "one step closer" and are ignored automatically.
+    for j in range(successors.shape[1] - 1, -1, -1):
+        heads = successors[:, j]
+        closer = reachable & (distance[heads, :] == distance - 1)
+        next_hop = np.where(closer, heads[:, None], next_hop)
+    return RoutingTable(next_hop=next_hop, distance=distance)
+
+
+def _build_routing_table_python(graph: BaseDigraph) -> RoutingTable:
+    """Reference implementation: one reverse BFS per target.
 
     Complexity ``O(n (n + m))``; fine for the network sizes the simulator
     handles (up to a few thousand nodes).

@@ -5,6 +5,8 @@ networks cited by the paper (ShuffleNet, GEMNET, stack-Kautz, refs. [13, 22,
 27]) are usually analysed at the topology level:
 
 * every node has one injection port and ``d`` output links (its out-arcs);
+  parallel arcs are *distinct* links, so a multigraph topology really has the
+  extra capacity its arc multiset promises;
 * a link transmits one message at a time; a message occupies a link for
   ``link.transmission_time`` and arrives ``link.latency`` later
   (store-and-forward, no cut-through);
@@ -144,9 +146,12 @@ class NetworkSimulator:
         self.graph = graph
         self.link = link or LinkModel()
         self.routing = routing or build_routing_table(graph)
-        self._arc_index: dict[tuple[int, int], int] = {}
+        # Every arc is its own physical link: parallel arcs (common in OTIS
+        # digraphs such as H(1, 4, 2)) are distinct optical channels, so two
+        # simultaneous messages between the same endpoints must not contend.
+        self._links_between: dict[tuple[int, int], list[int]] = {}
         for index, (u, v) in enumerate(graph.arcs()):
-            self._arc_index.setdefault((u, v), index)
+            self._links_between.setdefault((u, v), []).append(index)
         self._num_links = graph.num_arcs
 
     # ------------------------------------------------------------------ run
@@ -190,7 +195,10 @@ class NetworkSimulator:
             next_node = int(self.routing.next_hop[node, message.destination])
             if next_node < 0:
                 return  # unreachable: drop (counted as undelivered)
-            link_id = self._arc_index[(node, next_node)]
+            # Transmit over the earliest-free parallel link between the two
+            # endpoints (ties broken by link id for determinism).
+            parallel = self._links_between[(node, next_node)]
+            link_id = min(parallel, key=lambda lid: (float(link_free_at[lid]), lid))
             start = max(sim.now, float(link_free_at[link_id]))
             finish = start + self.link.transmission_time
             link_free_at[link_id] = finish

@@ -111,18 +111,24 @@ def int_to_word(value: int, d: int, D: int) -> Word:
 
 
 def word_length(n: int, d: int) -> int:
-    """Return ``D`` such that ``d**D == n``, or raise if ``n`` is not a power.
+    """Return the smallest ``D >= 0`` with ``d**D == n``; raise if none exists.
+
+    ``n == 1`` yields ``D == 0`` (the empty word) for every alphabet — the
+    only value consistent with the contract, since ``d**1 == d != 1`` for
+    ``d >= 2``.  For ``d == 1``, ``n == 1`` is the only representable size.
 
     >>> word_length(8, 2)
     3
+    >>> word_length(1, 2)
+    0
     """
     check_alphabet(d)
     if n < 1:
         raise ValueError(f"n must be positive, got {n}")
+    if n == 1:
+        return 0
     if d == 1:
-        if n != 1:
-            raise ValueError("alphabet of size 1 only supports n == 1")
-        return 1
+        raise ValueError("alphabet of size 1 only supports n == 1")
     D = 0
     value = 1
     while value < n:
@@ -130,7 +136,7 @@ def word_length(n: int, d: int) -> int:
         D += 1
     if value != n:
         raise ValueError(f"{n} is not a power of {d}")
-    return max(D, 1)
+    return D
 
 
 def all_words(d: int, D: int) -> list[Word]:

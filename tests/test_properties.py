@@ -108,6 +108,35 @@ class TestOtherMetrics:
 
     def test_girth_max_length_cutoff(self):
         assert girth(circuit(5), max_length=3) == -1
+        assert girth(circuit(5), max_length=4) == -1
+        assert girth(circuit(5), max_length=5) == 5
+
+    def test_girth_truncation_prunes_the_bfs(self, monkeypatch):
+        # Regression: max_length used to be applied only as a post-filter,
+        # with every BFS run to completion.  The BFS must now stop expanding
+        # at the cutoff depth.
+        import repro.graphs.properties as properties
+
+        observed = []
+        original = properties._distance_between
+
+        def spy(graph, source, target, cutoff=None):
+            observed.append(cutoff)
+            return original(graph, source, target, cutoff=cutoff)
+
+        monkeypatch.setattr(properties, "_distance_between", spy)
+        girth(circuit(6), max_length=2)
+        assert observed and all(c == 1 for c in observed)
+
+    def test_girth_two_cycle_early_exit(self):
+        # A 2-cycle plus a long tail: the answer is 2 regardless of the rest.
+        g = Digraph(6, arcs=[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 5), (5, 1)])
+        assert girth(g) == 2
+
+    def test_girth_best_so_far_tightens_cutoff(self):
+        # Two disjoint cycles of different lengths: the shorter must win.
+        arcs = [(0, 1), (1, 2), (2, 0)] + [(3, 4), (4, 5), (5, 6), (6, 3)]
+        assert girth(Digraph(7, arcs=arcs)) == 3
 
     def test_degree_summary(self):
         summary = degree_summary(de_bruijn(2, 3))

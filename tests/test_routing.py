@@ -96,6 +96,34 @@ class TestGenericRouting:
             assert table.is_consistent(graph)
             assert table.num_vertices == graph.num_vertices
 
+    def test_bitset_and_python_builders_agree(self):
+        # The vectorised builder must produce the same distances as the
+        # per-target reverse BFS reference, and a consistent next-hop table,
+        # on regular, irregular and multigraph topologies.
+        from repro.otis.h_digraph import h_digraph
+
+        graphs = [
+            de_bruijn(2, 4),
+            kautz(2, 3),
+            ring(7),
+            h_digraph(1, 4, 2),  # parallel arcs
+            Digraph(5, arcs=[(0, 1), (0, 1), (1, 2), (2, 0), (3, 0)]),  # vertex 4 isolated
+        ]
+        for graph in graphs:
+            fast = build_routing_table(graph, method="bitset")
+            slow = build_routing_table(graph, method="python")
+            assert np.array_equal(fast.distance, slow.distance)
+            assert fast.is_consistent(graph)
+            assert slow.is_consistent(graph)
+
+    def test_routing_table_unknown_method(self):
+        with pytest.raises(ValueError):
+            build_routing_table(circuit(3), method="magic")
+
+    def test_routing_table_empty_graph(self):
+        table = build_routing_table(Digraph(0))
+        assert table.num_vertices == 0
+
     def test_routing_table_distances_match_bfs(self):
         graph = de_bruijn(2, 4)
         table = build_routing_table(graph)

@@ -178,6 +178,39 @@ class TestNetworkSimulator:
         assert latencies == [2.0, 4.0]
         assert stats.max_link_queue >= 1
 
+    def test_parallel_arcs_are_distinct_links(self):
+        # Regression: _arc_index used setdefault((u, v), index), collapsing
+        # parallel arcs into one link; two simultaneous messages 0 -> 1 then
+        # serialised as [1.0, 2.0] even though two physical links exist.
+        from repro.graphs.digraph import Digraph
+
+        g = Digraph(2, arcs=[(0, 1), (0, 1), (1, 0), (1, 0)])
+        simulator = NetworkSimulator(g, link=LinkModel(latency=0.0, transmission_time=1.0))
+        stats, messages = simulator.run([(0, 1, 0.0), (0, 1, 0.0)])
+        assert stats.delivered == 2
+        assert sorted(m.latency for m in messages) == [1.0, 1.0]
+
+    def test_parallel_links_still_serialise_when_saturated(self):
+        # Three messages over two parallel links: one of them must queue.
+        from repro.graphs.digraph import Digraph
+
+        g = Digraph(2, arcs=[(0, 1), (0, 1), (1, 0)])
+        simulator = NetworkSimulator(g, link=LinkModel(latency=0.0, transmission_time=1.0))
+        stats, messages = simulator.run([(0, 1, 0.0)] * 3)
+        assert stats.delivered == 3
+        assert sorted(m.latency for m in messages) == [1.0, 1.0, 2.0]
+
+    def test_otis_multigraph_contention_not_overestimated(self):
+        # H(1, 4, 2) is a 2-vertex digraph whose arcs are all parallel pairs;
+        # both transceivers must carry traffic simultaneously.
+        from repro.otis.h_digraph import h_digraph
+
+        H = h_digraph(1, 4, 2)
+        assert max(H.arc_multiset().values()) >= 2
+        simulator = NetworkSimulator(H, link=LinkModel(latency=0.0, transmission_time=1.0))
+        stats, messages = simulator.run([(0, 1, 0.0), (0, 1, 0.0)])
+        assert sorted(m.latency for m in messages) == [1.0, 1.0]
+
     def test_all_messages_delivered_random_traffic(self):
         stats = run_random_traffic(de_bruijn(2, 4), 200, seed=7)
         assert stats.delivered == 200

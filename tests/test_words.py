@@ -55,9 +55,22 @@ class TestWordLength:
             words.word_length(10, 2)
 
     def test_degenerate_alphabet(self):
-        assert words.word_length(1, 1) == 1
+        assert words.word_length(1, 1) == 0
         with pytest.raises(ValueError):
             words.word_length(2, 1)
+
+    def test_n_equal_one_returns_zero(self):
+        # Regression: the old max(D, 1) clamp returned 1, violating the
+        # documented contract d**D == n (2**1 != 1).
+        for d in (1, 2, 3, 7):
+            D = words.word_length(1, d)
+            assert D == 0
+            assert d**D == 1
+
+    def test_contract_holds_for_all_returns(self):
+        for d in (2, 3, 5):
+            for D in range(5):
+                assert words.word_length(d**D, d) == D
 
 
 class TestVectorised:
