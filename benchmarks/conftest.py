@@ -6,16 +6,12 @@ The heavy reproductions (Table 1) use ``benchmark.pedantic`` with a single
 round so that ``pytest benchmarks/ --benchmark-only`` stays in the
 minutes range; the micro-benchmarks (O(D) checks, layout construction) use
 the default calibrated timing.
+
+Markers (``table1``, ``sim``) are registered once, in the repository-root
+``conftest.py``.
 """
 
 import pytest
-
-
-def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "table1: Table 1 reproduction benchmarks (deselect with -m 'not table1')",
-    )
 
 
 def run_once(benchmark, func, *args, **kwargs):

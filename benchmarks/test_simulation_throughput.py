@@ -1,0 +1,159 @@
+"""Benchmark S1 — simulator engines: batched vs. event-loop reference.
+
+The paper's Section 1 argument (optical vs. electrical multihop networks)
+needs traffic simulated over the ``H(p, q, d)`` topologies at realistic
+scale.  These benchmarks pit the vectorised
+:class:`repro.simulation.network.BatchedNetworkSimulator` against the
+event-at-a-time reference on a 100k-message uniform workload over the
+diameter-10 flagship instance ``H(32, 64, 2)`` (n=1024, the largest Table 1
+row), asserting bit-identical :class:`NetworkStats` *and* a >=10x wall-clock
+win, and record the multi-workload sweep curves of the throughput driver.
+
+Every run merges its numbers into ``BENCH_sim.json`` at the repository root
+so the simulator performance trajectory is tracked across PRs (same scheme
+as ``BENCH_table1.json``).  All tests carry the ``sim`` marker and are
+opt-in: run them with ``pytest benchmarks/test_simulation_throughput.py
+--run-sim``.
+"""
+
+import json
+import math
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.otis.h_digraph import h_digraph
+from repro.routing.paths import routing_table_for
+from repro.simulation.network import (
+    BatchedNetworkSimulator,
+    LinkModel,
+    NetworkSimulator,
+)
+from repro.simulation.workloads import run_throughput_sweep, uniform_random_pairs
+
+_BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sim.json"
+
+pytestmark = pytest.mark.sim
+
+
+def _record(name, payload):
+    """Merge one benchmark entry into BENCH_sim.json."""
+    data = {}
+    if _BENCH_PATH.exists():
+        try:
+            data = json.loads(_BENCH_PATH.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data[name] = payload
+    _BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _messages_equal(reference, batched):
+    return all(
+        a.ident == b.ident
+        and a.hops == b.hops
+        and a.creation_time == b.creation_time
+        and (
+            a.arrival_time == b.arrival_time
+            or (math.isnan(a.arrival_time) and math.isnan(b.arrival_time))
+        )
+        for a, b in zip(reference, batched)
+    )
+
+
+def test_batched_engine_parity_and_speedup_100k():
+    """100k uniform messages on H(32, 64, 2): identical stats, >=10x faster."""
+    graph = h_digraph(32, 64, 2)
+    traffic = uniform_random_pairs(graph.num_vertices, 100_000, rng=0)
+    link = LinkModel(latency=1.0, transmission_time=1.0)
+    routing = routing_table_for(graph)
+
+    start = time.perf_counter()
+    ref_stats, ref_messages = NetworkSimulator(graph, link=link, routing=routing).run(
+        traffic
+    )
+    ref_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    bat_stats, bat_messages = BatchedNetworkSimulator(
+        graph, link=link, routing=routing
+    ).run(traffic)
+    bat_seconds = time.perf_counter() - start
+
+    # the reproduction claim: bit-identical statistics and message records
+    assert bat_stats == ref_stats
+    assert _messages_equal(ref_messages, bat_messages)
+    assert bat_stats.delivered == 100_000
+
+    speedup = ref_seconds / bat_seconds
+    _record(
+        "uniform_100k_H(32,64,2)",
+        {
+            "graph": graph.name,
+            "nodes": graph.num_vertices,
+            "links": graph.num_arcs,
+            "messages": 100_000,
+            "reference_s": round(ref_seconds, 4),
+            "batched_s": round(bat_seconds, 4),
+            "speedup": round(speedup, 2),
+            "makespan": bat_stats.makespan,
+            "throughput": bat_stats.throughput(),
+            "mean_latency": bat_stats.mean_latency,
+        },
+    )
+    assert speedup >= 10.0, f"batched engine only {speedup:.1f}x faster"
+
+
+def test_throughput_sweep_driver_records_curves():
+    """Multi-workload sweep on H(16, 32, 2): all delivered, curves recorded."""
+    graph = h_digraph(16, 32, 2)
+    sweep = run_throughput_sweep(
+        graph,
+        workloads=("uniform", "hotspot", "permutation"),
+        rates=(None, 2.0, 8.0),
+        seeds=range(3),
+        num_messages=2000,
+        link=LinkModel(latency=1.0, transmission_time=1.0),
+    )
+    assert len(sweep.points) == 3 * 3 * 3
+    # H(16, 32, 2) is strongly connected: everything must drain
+    for point in sweep.points:
+        assert point.stats.undelivered == 0
+    rows = sweep.curves()
+    assert len(rows) == 9
+    # the saturation point (everything injected at t=0) must sustain more
+    # delivered messages per time unit than the rate-limited low-load points
+    uniform = {row["rate"]: row for row in rows if row["workload"] == "uniform"}
+    assert uniform[None]["throughput"] > uniform[2.0]["throughput"]
+    _record("sweep_H(16,32,2)", sweep.to_json())
+
+
+def test_run_many_amortises_many_seeds():
+    """Stacking 10 seeds in one run_many pass beats 10 separate runs."""
+    graph = h_digraph(16, 32, 2)
+    link = LinkModel(latency=1.0, transmission_time=1.0)
+    simulator = BatchedNetworkSimulator(graph, link=link)
+    traffics = [
+        uniform_random_pairs(graph.num_vertices, 10_000, rng=seed)
+        for seed in range(10)
+    ]
+
+    start = time.perf_counter()
+    stacked = simulator.run_many(traffics, return_messages=False)
+    stacked_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    separate = [simulator.run(traffic)[0] for traffic in traffics]
+    separate_seconds = time.perf_counter() - start
+
+    assert [stats for stats, _ in stacked] == separate
+    _record(
+        "run_many_10x10k_H(16,32,2)",
+        {
+            "stacked_s": round(stacked_seconds, 4),
+            "separate_s": round(separate_seconds, 4),
+            "amortisation": round(separate_seconds / stacked_seconds, 2),
+        },
+    )
+    assert stacked_seconds < separate_seconds

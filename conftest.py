@@ -1,0 +1,45 @@
+"""Repository-wide pytest configuration.
+
+All custom markers are registered here — in one place — so the test tree and
+the benchmark harness agree on their meaning:
+
+* ``table1`` — Table 1 reproduction benchmarks.  They run by default (they
+  are the paper's headline claim) and can be deselected with
+  ``-m "not table1"``.
+* ``sim`` — slow simulator workload sweeps (the 100k-message engine
+  benchmarks).  These are opt-in: they are skipped unless ``--run-sim`` is
+  passed (or the marker is selected explicitly with ``-m sim``), so the
+  tier-1 suite keeps running only the fast simulator parity subset.
+"""
+
+import pytest
+
+MARKERS = [
+    "table1: Table 1 reproduction benchmarks (deselect with -m 'not table1')",
+    "sim: slow simulator workload sweeps (opt-in: pass --run-sim or -m sim)",
+]
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-sim",
+        action="store_true",
+        default=False,
+        help="run the slow 'sim'-marked simulator workload sweeps",
+    )
+
+
+def pytest_configure(config):
+    for line in MARKERS:
+        config.addinivalue_line("markers", line)
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-sim"):
+        return
+    if "sim" in (config.option.markexpr or ""):
+        return  # explicitly selected with -m sim
+    skip_sim = pytest.mark.skip(reason="sim sweeps are opt-in: pass --run-sim")
+    for item in items:
+        if "sim" in item.keywords:
+            item.add_marker(skip_sim)

@@ -7,7 +7,10 @@ Exposes the reproduction's main entry points without writing any Python:
 * ``check``   — the O(D) isomorphism test of Corollary 4.5 for a given split,
 * ``splits``  — the whole design space of splits for one diameter,
 * ``table1``  — regenerate a block of Table 1 and compare with the paper,
-* ``figure``  — emit a DOT rendering of one of the paper's figure digraphs.
+* ``figure``  — emit a DOT rendering of one of the paper's figure digraphs,
+* ``sim``     — throughput/latency sweep of workloads on ``H(p, q, d)`` with
+  the batched network simulator (optionally cross-checked against the
+  event-loop reference).
 
 Each subcommand prints plain text to stdout and exits non-zero on failure, so
 the CLI can be scripted.
@@ -16,7 +19,9 @@ the CLI can be scripted.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.analysis.tables import format_table
 from repro.core.checks import enumerate_layout_splits, is_otis_layout_of_de_bruijn
@@ -71,6 +76,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figure.add_argument(
         "--format", choices=["dot", "text"], default="dot", help="output format"
+    )
+
+    sim = sub.add_parser(
+        "sim", help="batched throughput/latency sweep on H(p, q, d)"
+    )
+    sim.add_argument("-p", type=int, required=True, help="OTIS parameter p")
+    sim.add_argument("-q", type=int, required=True, help="OTIS parameter q")
+    sim.add_argument("-d", type=int, default=2, help="transceivers per node")
+    sim.add_argument(
+        "--messages", type=int, default=2000, help="messages per workload instance"
+    )
+    sim.add_argument(
+        "--seeds", type=int, default=3, help="seeds per (workload, rate) point"
+    )
+    sim.add_argument(
+        "--workloads",
+        nargs="+",
+        default=["uniform"],
+        choices=["uniform", "hotspot", "permutation"],
+        help="workload kinds to sweep",
+    )
+    sim.add_argument(
+        "--rates",
+        nargs="*",
+        type=float,
+        default=None,
+        help="Poisson injection rates (omit for inject-everything-at-time-0)",
+    )
+    sim.add_argument(
+        "--engine",
+        choices=["batched", "event", "both"],
+        default="batched",
+        help="'both' also runs the event-loop reference and checks parity",
+    )
+    sim.add_argument(
+        "--json",
+        metavar="PATH",
+        help="merge the sweep result into a JSON file (e.g. BENCH_sim.json)",
     )
     return parser
 
@@ -161,6 +204,65 @@ def _otis_text(p: int, q: int) -> str:
     return otis_wiring_text(p, q)
 
 
+def _cmd_sim(args: argparse.Namespace) -> int:
+    from repro.otis.h_digraph import h_digraph
+    from repro.simulation.workloads import run_throughput_sweep
+
+    graph = h_digraph(args.p, args.q, args.d)
+    rates = tuple(args.rates) if args.rates else (None,)
+    sweep_kwargs = dict(
+        workloads=tuple(args.workloads),
+        rates=rates,
+        seeds=range(args.seeds),
+        num_messages=args.messages,
+    )
+    engine = "batched" if args.engine == "both" else args.engine
+    sweep = run_throughput_sweep(graph, engine=engine, **sweep_kwargs)
+    print(
+        f"{sweep.graph_name}: {sweep.num_nodes} nodes, {sweep.num_links} links, "
+        f"engine={sweep.engine}, wall={sweep.wall_time_s:.3f}s"
+    )
+    rows = [
+        {
+            "workload": row["workload"],
+            "rate": "t=0" if row["rate"] is None else f"{row['rate']:g}",
+            "seeds": row["seeds"],
+            "delivered": f"{row['delivered']}/{row['messages']}",
+            "throughput": f"{row['throughput']:.3f}",
+            "mean latency": f"{row['mean_latency']:.3f}",
+            "mean hops": f"{row['mean_hops']:.3f}",
+            "max queue": row["max_link_queue"],
+        }
+        for row in sweep.curves()
+    ]
+    print(format_table(rows))
+    parity_ok = True
+    if args.engine == "both":
+        reference = run_throughput_sweep(graph, engine="event", **sweep_kwargs)
+        parity_ok = [point.stats for point in sweep.points] == [
+            point.stats for point in reference.points
+        ]
+        speedup = reference.wall_time_s / max(sweep.wall_time_s, 1e-9)
+        print(
+            f"event-loop reference: wall={reference.wall_time_s:.3f}s "
+            f"(batched speedup {speedup:.1f}x)"
+        )
+        print(f"parity with event-loop reference: {parity_ok}")
+    if args.json:
+        path = Path(args.json)
+        data = {}
+        if path.exists():
+            try:
+                data = json.loads(path.read_text())
+            except (ValueError, OSError):
+                data = {}
+        key = f"sweep_H({args.p},{args.q},{args.d})_{sweep.engine}"
+        data[key] = sweep.to_json()
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    return 0 if parity_ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -171,6 +273,7 @@ def main(argv: list[str] | None = None) -> int:
         "splits": _cmd_splits,
         "table1": _cmd_table1,
         "figure": _cmd_figure,
+        "sim": _cmd_sim,
     }
     return handlers[args.command](args)
 

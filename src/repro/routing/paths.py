@@ -16,7 +16,9 @@ For arbitrary digraphs (e.g. the raw ``H(p, q, d)`` of a candidate layout)
 :func:`build_routing_table` computes all-pairs next-hop tables, by default on
 the bit-parallel frontier machinery of :mod:`repro.graphs.apsp` (the
 per-target reverse BFS survives as the cross-checked ``method="python"``
-reference); the simulator uses the table directly.
+reference); the simulator uses the table directly.  When many workloads run
+on one topology, :func:`routing_table_for` memoises the table on the graph
+instance so the simulators and the sweep driver share a single computation.
 """
 
 from __future__ import annotations
@@ -38,6 +40,7 @@ __all__ = [
     "bfs_route",
     "RoutingTable",
     "build_routing_table",
+    "routing_table_for",
 ]
 
 
@@ -225,6 +228,39 @@ def build_routing_table(graph: BaseDigraph, method: str = "auto") -> RoutingTabl
         closer = reachable & (distance[heads, :] == distance - 1)
         next_hop = np.where(closer, heads[:, None], next_hop)
     return RoutingTable(next_hop=next_hop, distance=distance)
+
+
+def routing_table_for(graph: BaseDigraph, method: str = "auto") -> RoutingTable:
+    """Memoised :func:`build_routing_table`, keyed on the graph instance.
+
+    The all-pairs table is a pure function of the topology, and the workload
+    driver (:func:`repro.simulation.workloads.run_throughput_sweep`) builds
+    many simulators over one graph — recomputing the ``O(n^2)`` table per
+    workload would dwarf the simulation itself.  The table is cached on the
+    graph object the first time it is requested.  Mutating a
+    :class:`~repro.graphs.digraph.Digraph` drops the cached table (its
+    mutators invalidate ``_routing_table_cache``); a cheap ``(n, m)``
+    signature additionally guards against mutation of exotic
+    :class:`~repro.graphs.digraph.BaseDigraph` subclasses that bypass those
+    mutators — a subclass that changes its arc *multiset* without changing
+    ``n`` or ``m`` must call :func:`build_routing_table` directly.
+
+    ``method="auto"`` and ``method="bitset"`` share one cache slot (they
+    produce the same table); ``method="python"`` is cached separately.
+    """
+    if method not in ("auto", "bitset", "python"):
+        raise ValueError(f"unknown method {method!r}")
+    slot = "bitset" if method in ("auto", "bitset") else "python"
+    key = (slot, graph.num_vertices, graph.num_arcs)
+    cached = getattr(graph, "_routing_table_cache", None)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    table = build_routing_table(graph, method=method)
+    try:
+        graph._routing_table_cache = (key, table)
+    except AttributeError:  # pragma: no cover - exotic graph classes w/ slots
+        pass
+    return table
 
 
 def _build_routing_table_python(graph: BaseDigraph) -> RoutingTable:

@@ -7,19 +7,32 @@ topologies and compare them — the paper itself contains no such experiments,
 so these are ablation/extension studies (documented as A2 in DESIGN.md), not
 reproductions of printed numbers.
 
-* :mod:`repro.simulation.events` — a minimal discrete-event engine
-  (heap-based event queue, deterministic tie-breaking).
+* :mod:`repro.simulation.events` — a minimal discrete-event engine: a
+  heap-based callback queue with deterministic tie-breaking, plus the
+  :class:`BatchEventQueue` that extracts whole same-timestamp batches for
+  the vectorised engine.
 * :mod:`repro.simulation.network` — a store-and-forward network built from
   any digraph, with per-hop latency taken from the OTIS hardware model and
-  single-port injection/ejection constraints.
+  single-port injection/ejection constraints.  Two engines: the reference
+  event-at-a-time :class:`NetworkSimulator` and the array-pooled
+  :class:`BatchedNetworkSimulator` (bit-identical results; see the
+  batched-engine contract in the module docstring).
 * :mod:`repro.simulation.workloads` — synthetic traffic generators
-  (uniform random, permutation, broadcast, all-to-all, hotspot).
+  (uniform random, permutation, broadcast, all-to-all, hotspot) and the
+  multi-workload throughput driver :func:`run_throughput_sweep`.
 * :mod:`repro.simulation.protocols` — end-to-end experiments returning
-  latency / throughput statistics.
+  latency / throughput statistics (every engine selectable).
 """
 
-from repro.simulation.events import EventQueue, Simulator
-from repro.simulation.network import LinkModel, Message, NetworkSimulator, NetworkStats
+from repro.simulation.events import BatchEventQueue, EventQueue, Simulator
+from repro.simulation.network import (
+    SIMULATOR_ENGINES,
+    BatchedNetworkSimulator,
+    LinkModel,
+    Message,
+    NetworkSimulator,
+    NetworkStats,
+)
 from repro.simulation.protocols import (
     run_broadcast,
     run_gossip_traffic,
@@ -27,20 +40,28 @@ from repro.simulation.protocols import (
     run_random_traffic,
 )
 from repro.simulation.workloads import (
+    SWEEP_WORKLOADS,
+    SweepPoint,
+    ThroughputSweep,
     all_to_all_pairs,
     broadcast_pairs,
     hotspot_pairs,
+    make_workload,
     permutation_pairs,
+    run_throughput_sweep,
     uniform_random_pairs,
 )
 
 __all__ = [
     "EventQueue",
+    "BatchEventQueue",
     "Simulator",
     "LinkModel",
     "Message",
     "NetworkSimulator",
+    "BatchedNetworkSimulator",
     "NetworkStats",
+    "SIMULATOR_ENGINES",
     "run_broadcast",
     "run_point_to_point",
     "run_random_traffic",
@@ -50,4 +71,9 @@ __all__ = [
     "broadcast_pairs",
     "all_to_all_pairs",
     "hotspot_pairs",
+    "make_workload",
+    "SWEEP_WORKLOADS",
+    "SweepPoint",
+    "ThroughputSweep",
+    "run_throughput_sweep",
 ]

@@ -1,11 +1,16 @@
 """End-to-end simulation experiments.
 
-These functions wrap :class:`repro.simulation.network.NetworkSimulator` into
-the experiments the examples and the ablation benchmarks run: point-to-point
-latency, random traffic under load, broadcast (both as naive unicasts and as
-the tree schedules of :mod:`repro.routing.broadcast`), and gossip traffic
-volume.  Each returns plain dictionaries/dataclasses so results can be
-tabulated next to the paper-derived quantities in EXPERIMENTS.md.
+These functions wrap the network simulators into the experiments the examples
+and the ablation benchmarks run: point-to-point latency, random traffic under
+load, broadcast (both as naive unicasts and as the tree schedules of
+:mod:`repro.routing.broadcast`), and gossip traffic volume.  Each returns
+plain dictionaries/dataclasses so results can be tabulated next to the
+paper-derived quantities in EXPERIMENTS.md.
+
+Every simulator-backed experiment takes ``engine="event"`` (the reference
+loop, default for continuity with the seed benchmarks) or
+``engine="batched"`` (the vectorised engine — bit-identical results, much
+faster on heavy workloads).
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from repro.routing.broadcast import (
     single_port_broadcast_schedule,
 )
 from repro.routing.gossip import all_port_gossip_schedule
-from repro.simulation.network import LinkModel, NetworkSimulator, NetworkStats
+from repro.simulation.network import SIMULATOR_ENGINES, LinkModel, NetworkStats
 from repro.simulation.workloads import broadcast_pairs, uniform_random_pairs
 
 __all__ = [
@@ -29,14 +34,26 @@ __all__ = [
 ]
 
 
+def _simulator(graph: BaseDigraph, link: LinkModel | None, engine: str):
+    try:
+        simulator_cls = SIMULATOR_ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r} (expected one of {sorted(SIMULATOR_ENGINES)})"
+        ) from None
+    return simulator_cls(graph, link=link)
+
+
 def run_point_to_point(
     graph: BaseDigraph,
     source: int,
     destination: int,
     link: LinkModel | None = None,
+    *,
+    engine: str = "event",
 ) -> dict[str, float]:
     """Deliver a single message and report its latency and hop count."""
-    simulator = NetworkSimulator(graph, link=link)
+    simulator = _simulator(graph, link, engine)
     stats, messages = simulator.run([(source, destination, 0.0)])
     message = messages[0]
     return {
@@ -54,12 +71,13 @@ def run_random_traffic(
     link: LinkModel | None = None,
     rate: float | None = None,
     seed: int = 0,
+    engine: str = "event",
 ) -> NetworkStats:
     """Uniform random traffic experiment; returns the aggregate statistics."""
     traffic = uniform_random_pairs(
         graph.num_vertices, num_messages, rng=seed, rate=rate
     )
-    simulator = NetworkSimulator(graph, link=link)
+    simulator = _simulator(graph, link, engine)
     stats, _ = simulator.run(traffic)
     return stats
 
@@ -69,6 +87,7 @@ def run_broadcast(
     root: int = 0,
     *,
     link: LinkModel | None = None,
+    engine: str = "event",
 ) -> dict[str, float]:
     """Compare three ways of broadcasting from ``root``.
 
@@ -79,7 +98,7 @@ def run_broadcast(
     """
     all_port = all_port_broadcast_schedule(graph, root)
     single_port = single_port_broadcast_schedule(graph, root)
-    simulator = NetworkSimulator(graph, link=link)
+    simulator = _simulator(graph, link, engine)
     stats, _ = simulator.run(broadcast_pairs(graph.num_vertices, root))
     return {
         "all_port_rounds": float(all_port.num_rounds),

@@ -1,17 +1,38 @@
-"""Synthetic traffic generators for the network simulator.
+"""Synthetic traffic generators and the multi-workload throughput driver.
 
-These produce lists of ``(source, destination, injection_time)`` triples — the
-input format of :meth:`repro.simulation.network.NetworkSimulator.run`.  The
-workloads are the usual suspects of interconnection-network evaluation:
-uniform random traffic, random permutations, hotspot traffic, one-to-all
-broadcast and all-to-all exchange.  All generators take an explicit numpy
-``Generator`` (or seed) so that every experiment in the benchmarks is
-reproducible.
+The generators produce lists of ``(source, destination, injection_time)``
+triples — the input format of
+:meth:`repro.simulation.network.NetworkSimulator.run`.  The workloads are the
+usual suspects of interconnection-network evaluation: uniform random traffic,
+random permutations, hotspot traffic, one-to-all broadcast and all-to-all
+exchange.  All generators take an explicit numpy ``Generator`` (or seed) so
+that every experiment in the benchmarks is reproducible.
+
+:func:`run_throughput_sweep` is the batched multi-workload driver: it
+enumerates ``(workload, injection rate, seed)`` combinations, builds the
+routing table once (:func:`repro.routing.paths.routing_table_for`) and hands
+the whole pile to
+:meth:`repro.simulation.network.BatchedNetworkSimulator.run_many`, which
+simulates every combination in one pooled pass.  The resulting
+:class:`ThroughputSweep` aggregates seeds into throughput/latency curves and
+serialises to the ``BENCH_sim.json`` trajectory format.
 """
 
 from __future__ import annotations
 
+import time as _time
+from dataclasses import dataclass
+
 import numpy as np
+
+from repro.graphs.digraph import BaseDigraph
+from repro.routing.paths import routing_table_for
+from repro.simulation.network import (
+    SIMULATOR_ENGINES,
+    BatchedNetworkSimulator,
+    LinkModel,
+    NetworkStats,
+)
 
 __all__ = [
     "uniform_random_pairs",
@@ -20,6 +41,11 @@ __all__ = [
     "broadcast_pairs",
     "all_to_all_pairs",
     "poisson_arrival_times",
+    "SWEEP_WORKLOADS",
+    "make_workload",
+    "SweepPoint",
+    "ThroughputSweep",
+    "run_throughput_sweep",
 ]
 
 Traffic = list[tuple[int, int, float]]
@@ -142,3 +168,194 @@ def all_to_all_pairs(num_nodes: int) -> Traffic:
         for destination in range(num_nodes)
         if source != destination
     ]
+
+
+# ---------------------------------------------------------------------------
+# Multi-workload throughput driver
+# ---------------------------------------------------------------------------
+#: Workload names accepted by :func:`make_workload` / :func:`run_throughput_sweep`.
+SWEEP_WORKLOADS = ("uniform", "hotspot", "permutation")
+
+
+def make_workload(
+    name: str,
+    num_nodes: int,
+    num_messages: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+    rate: float | None = None,
+    hotspot: int = 0,
+    hotspot_fraction: float = 0.5,
+) -> Traffic:
+    """One named workload, optionally spread over a Poisson arrival process.
+
+    ``rate=None`` injects every message at time 0 (the saturation regime the
+    throughput curves start from); a positive ``rate`` overlays Poisson
+    arrival times of that aggregate rate, giving the offered-load axis of the
+    curves.  ``permutation`` ignores ``num_messages`` (one message per node).
+    """
+    generator = _rng(rng)
+    if name == "uniform":
+        pairs = uniform_random_pairs(num_nodes, num_messages, generator)
+    elif name == "hotspot":
+        pairs = hotspot_pairs(
+            num_nodes, num_messages, hotspot, hotspot_fraction, generator
+        )
+    elif name == "permutation":
+        pairs = permutation_pairs(num_nodes, generator)
+    else:
+        raise ValueError(
+            f"unknown workload {name!r} (expected one of {SWEEP_WORKLOADS})"
+        )
+    if rate is None:
+        return pairs
+    times = poisson_arrival_times(len(pairs), rate, generator)
+    return [
+        (source, destination, float(t))
+        for (source, destination, _), t in zip(pairs, times)
+    ]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulated ``(workload, rate, seed)`` combination of a sweep."""
+
+    workload: str
+    rate: float | None
+    seed: int
+    num_messages: int
+    stats: NetworkStats
+
+
+@dataclass
+class ThroughputSweep:
+    """Result of :func:`run_throughput_sweep`.
+
+    ``points`` holds one :class:`SweepPoint` per ``(workload, rate, seed)``
+    combination; :meth:`curves` aggregates the seeds of each ``(workload,
+    rate)`` pair into one row of the throughput/latency curve.
+    """
+
+    graph_name: str
+    num_nodes: int
+    num_links: int
+    engine: str
+    link: LinkModel
+    points: list[SweepPoint]
+    wall_time_s: float
+
+    def curves(self) -> list[dict]:
+        """Throughput/latency curve rows, seeds averaged per (workload, rate)."""
+        grouped: dict[tuple[str, float | None], list[SweepPoint]] = {}
+        for point in self.points:
+            grouped.setdefault((point.workload, point.rate), []).append(point)
+        rows = []
+        for workload, rate in sorted(
+            grouped, key=lambda key: (key[0], key[1] is not None, key[1] or 0.0)
+        ):
+            points = grouped[(workload, rate)]
+            stats = [point.stats for point in points]
+            rows.append(
+                {
+                    "workload": workload,
+                    "rate": rate,
+                    "seeds": len(points),
+                    "messages": sum(point.num_messages for point in points),
+                    "delivered": sum(s.delivered for s in stats),
+                    "throughput": float(np.mean([s.throughput() for s in stats])),
+                    "mean_latency": float(np.mean([s.mean_latency for s in stats])),
+                    "max_latency": float(np.max([s.max_latency for s in stats])),
+                    "mean_hops": float(np.mean([s.mean_hops for s in stats])),
+                    "max_link_queue": int(np.max([s.max_link_queue for s in stats])),
+                }
+            )
+        return rows
+
+    def to_json(self) -> dict:
+        """JSON-serialisable summary (the ``BENCH_sim.json`` entry format)."""
+        return {
+            "graph": self.graph_name,
+            "nodes": self.num_nodes,
+            "links": self.num_links,
+            "engine": self.engine,
+            "link_latency": self.link.latency,
+            "link_transmission_time": self.link.transmission_time,
+            "wall_time_s": round(self.wall_time_s, 4),
+            "curves": self.curves(),
+        }
+
+
+def run_throughput_sweep(
+    graph: BaseDigraph,
+    *,
+    workloads: tuple[str, ...] = ("uniform",),
+    rates: tuple[float | None, ...] = (None,),
+    seeds=range(3),
+    num_messages: int = 1000,
+    link: LinkModel | None = None,
+    engine: str = "batched",
+    hotspot: int = 0,
+    hotspot_fraction: float = 0.5,
+    until: float | None = None,
+) -> ThroughputSweep:
+    """Run every ``(workload, rate, seed)`` combination on one topology.
+
+    The routing table is built once and shared; with the default
+    ``engine="batched"`` all combinations are stacked into a single
+    :meth:`~repro.simulation.network.BatchedNetworkSimulator.run_many` pass
+    (per-combination results are bit-identical to running them one at a
+    time).  ``engine="event"`` runs the reference loop per combination — the
+    cross-check the parity suite leans on.
+    """
+    if engine not in SIMULATOR_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r} (expected one of {sorted(SIMULATOR_ENGINES)})"
+        )
+    n = graph.num_vertices
+    combos = [
+        (workload, rate, int(seed))
+        for workload in workloads
+        for rate in rates
+        for seed in seeds
+    ]
+    traffics = [
+        make_workload(
+            workload,
+            n,
+            num_messages,
+            rng=seed,
+            rate=rate,
+            hotspot=hotspot,
+            hotspot_fraction=hotspot_fraction,
+        )
+        for workload, rate, seed in combos
+    ]
+    simulator = SIMULATOR_ENGINES[engine](
+        graph, link=link, routing=routing_table_for(graph)
+    )
+    start = _time.perf_counter()
+    if isinstance(simulator, BatchedNetworkSimulator):
+        results = simulator.run_many(traffics, until=until, return_messages=False)
+        stats_list = [stats for stats, _ in results]
+    else:
+        stats_list = [simulator.run(traffic, until=until)[0] for traffic in traffics]
+    wall = _time.perf_counter() - start
+    points = [
+        SweepPoint(
+            workload=workload,
+            rate=rate,
+            seed=seed,
+            num_messages=len(traffic),
+            stats=stats,
+        )
+        for (workload, rate, seed), traffic, stats in zip(combos, traffics, stats_list)
+    ]
+    return ThroughputSweep(
+        graph_name=graph.name or f"digraph(n={n})",
+        num_nodes=n,
+        num_links=graph.num_arcs,
+        engine=engine,
+        link=simulator.link,
+        points=points,
+        wall_time_s=wall,
+    )

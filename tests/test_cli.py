@@ -87,3 +87,74 @@ class TestFigureCommand:
     def test_figure_8(self, capsys):
         assert main(["figure", "8", "--format", "text"]) == 0
         assert "0000" in capsys.readouterr().out
+
+
+class TestSimCommand:
+    def test_sim_basic_sweep(self, capsys):
+        assert main(["sim", "-p", "4", "-q", "8", "--messages", "40", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "H(4,8,2)" in out
+        assert "throughput" in out
+        assert "engine=batched" in out
+
+    def test_sim_both_engines_parity(self, capsys):
+        assert (
+            main(
+                [
+                    "sim",
+                    "-p", "4", "-q", "8",
+                    "--messages", "30",
+                    "--seeds", "2",
+                    "--workloads", "uniform", "hotspot",
+                    "--rates", "2.0",
+                    "--engine", "both",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "parity with event-loop reference: True" in out
+
+    def test_sim_writes_json(self, capsys, tmp_path):
+        target = tmp_path / "BENCH_sim.json"
+        assert (
+            main(
+                [
+                    "sim",
+                    "-p", "4", "-q", "8",
+                    "--messages", "20",
+                    "--seeds", "1",
+                    "--json", str(target),
+                ]
+            )
+            == 0
+        )
+        import json
+
+        data = json.loads(target.read_text())
+        entry = data["sweep_H(4,8,2)_batched"]
+        assert entry["graph"] == "H(4,8,2)"
+        assert entry["curves"][0]["delivered"] == 20
+
+    def test_sim_json_key_matches_recorded_engine(self, capsys, tmp_path):
+        # --engine both records the batched sweep: key and payload must agree
+        target = tmp_path / "BENCH_sim.json"
+        assert (
+            main(
+                [
+                    "sim",
+                    "-p", "4", "-q", "8",
+                    "--messages", "15",
+                    "--seeds", "1",
+                    "--engine", "both",
+                    "--json", str(target),
+                ]
+            )
+            == 0
+        )
+        import json
+
+        data = json.loads(target.read_text())
+        (key,) = data.keys()
+        assert key == "sweep_H(4,8,2)_batched"
+        assert data[key]["engine"] == "batched"

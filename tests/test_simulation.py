@@ -4,8 +4,16 @@ import numpy as np
 import pytest
 
 from repro.graphs.generators import circuit, de_bruijn, kautz, ring
-from repro.simulation.events import EventQueue, Simulator
-from repro.simulation.network import LinkModel, NetworkSimulator
+from repro.simulation.events import BatchEventQueue, EventQueue, Simulator
+from repro.simulation.network import (
+    SIMULATOR_ENGINES,
+    BatchedNetworkSimulator,
+    LinkModel,
+    NetworkSimulator,
+)
+
+ENGINES = [NetworkSimulator, BatchedNetworkSimulator]
+ENGINE_IDS = ["event", "batched"]
 from repro.simulation.protocols import (
     run_broadcast,
     run_gossip_traffic,
@@ -178,36 +186,42 @@ class TestNetworkSimulator:
         assert latencies == [2.0, 4.0]
         assert stats.max_link_queue >= 1
 
-    def test_parallel_arcs_are_distinct_links(self):
-        # Regression: _arc_index used setdefault((u, v), index), collapsing
-        # parallel arcs into one link; two simultaneous messages 0 -> 1 then
-        # serialised as [1.0, 2.0] even though two physical links exist.
+    @pytest.mark.parametrize("engine_cls", ENGINES, ids=ENGINE_IDS)
+    def test_parallel_arcs_are_distinct_links(self, engine_cls):
+        # Regression (PR 1 fix, locked for both engines): _arc_index used
+        # setdefault((u, v), index), collapsing parallel arcs into one link;
+        # two simultaneous messages 0 -> 1 then serialised as [1.0, 2.0] even
+        # though two physical links exist.  A 2-arc (u, v) multigraph must
+        # carry two simultaneous messages with no queueing delay.
         from repro.graphs.digraph import Digraph
 
         g = Digraph(2, arcs=[(0, 1), (0, 1), (1, 0), (1, 0)])
-        simulator = NetworkSimulator(g, link=LinkModel(latency=0.0, transmission_time=1.0))
+        simulator = engine_cls(g, link=LinkModel(latency=0.0, transmission_time=1.0))
         stats, messages = simulator.run([(0, 1, 0.0), (0, 1, 0.0)])
         assert stats.delivered == 2
         assert sorted(m.latency for m in messages) == [1.0, 1.0]
+        assert stats.max_link_queue == 1  # one message per physical link
 
-    def test_parallel_links_still_serialise_when_saturated(self):
+    @pytest.mark.parametrize("engine_cls", ENGINES, ids=ENGINE_IDS)
+    def test_parallel_links_still_serialise_when_saturated(self, engine_cls):
         # Three messages over two parallel links: one of them must queue.
         from repro.graphs.digraph import Digraph
 
         g = Digraph(2, arcs=[(0, 1), (0, 1), (1, 0)])
-        simulator = NetworkSimulator(g, link=LinkModel(latency=0.0, transmission_time=1.0))
+        simulator = engine_cls(g, link=LinkModel(latency=0.0, transmission_time=1.0))
         stats, messages = simulator.run([(0, 1, 0.0)] * 3)
         assert stats.delivered == 3
         assert sorted(m.latency for m in messages) == [1.0, 1.0, 2.0]
 
-    def test_otis_multigraph_contention_not_overestimated(self):
+    @pytest.mark.parametrize("engine_cls", ENGINES, ids=ENGINE_IDS)
+    def test_otis_multigraph_contention_not_overestimated(self, engine_cls):
         # H(1, 4, 2) is a 2-vertex digraph whose arcs are all parallel pairs;
         # both transceivers must carry traffic simultaneously.
         from repro.otis.h_digraph import h_digraph
 
         H = h_digraph(1, 4, 2)
         assert max(H.arc_multiset().values()) >= 2
-        simulator = NetworkSimulator(H, link=LinkModel(latency=0.0, transmission_time=1.0))
+        simulator = engine_cls(H, link=LinkModel(latency=0.0, transmission_time=1.0))
         stats, messages = simulator.run([(0, 1, 0.0), (0, 1, 0.0)])
         assert sorted(m.latency for m in messages) == [1.0, 1.0]
 
@@ -252,3 +266,169 @@ class TestProtocols:
         debruijn_stats = run_random_traffic(de_bruijn(2, 6), 300, seed=5)
         ring_stats = run_random_traffic(ring(n), 300, seed=5)
         assert debruijn_stats.mean_hops < ring_stats.mean_hops
+
+    def test_protocols_accept_engine_choice(self):
+        graph = de_bruijn(2, 4)
+        event = run_random_traffic(graph, 100, seed=3, engine="event")
+        batched = run_random_traffic(graph, 100, seed=3, engine="batched")
+        assert event == batched
+        point = run_point_to_point(graph, 0, 9, engine="batched")
+        assert point["delivered"] == 1.0
+        with pytest.raises(ValueError):
+            run_random_traffic(graph, 10, engine="warp")
+
+
+class TestBatchEventQueue:
+    def test_pop_batch_groups_equal_times(self):
+        queue = BatchEventQueue(6)
+        queue.schedule(np.array([0, 1, 2, 3]), np.array([2.0, 1.0, 2.0, 1.0]))
+        queue.schedule_one(4, 1.0)
+        assert len(queue) == 5
+        assert queue.peek_time() == 1.0
+        time, slots = queue.pop_batch()
+        # insertion-sequence order: slot 1 then 3 (first call), then 4
+        assert (time, slots) == (1.0, [1, 3, 4])
+        time, slots = queue.pop_batch()
+        assert (time, slots) == (2.0, [0, 2])
+        assert len(queue) == 0
+
+    def test_pop_batch_limit_keeps_lowest_sequence(self):
+        queue = BatchEventQueue(4)
+        queue.schedule(np.array([3, 1, 2]), np.array([1.0, 1.0, 1.0]))
+        time, slots = queue.pop_batch(limit=2)
+        assert (time, slots) == (1.0, [3, 1])
+        assert queue.peek_time() == 1.0
+        assert queue.pop_batch() == (1.0, [2])
+
+    def test_rejects_double_schedule_and_negative_time(self):
+        queue = BatchEventQueue(3)
+        queue.schedule_one(0, 1.0)
+        with pytest.raises(ValueError):
+            queue.schedule_one(0, 2.0)
+        with pytest.raises(ValueError):
+            queue.schedule(np.array([1]), np.array([-1.0]))
+        with pytest.raises(ValueError):
+            queue.schedule_one(2, -0.5)
+
+    def test_rejects_duplicate_indices_in_one_call(self):
+        queue = BatchEventQueue(4)
+        with pytest.raises(ValueError, match="already holds"):
+            queue.schedule(np.array([0, 0]), np.array([1.0, 1.0]))
+        assert len(queue) == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            BatchEventQueue(1).pop_batch()
+        assert BatchEventQueue(1).peek_time() is None
+
+    def test_slot_reusable_after_pop(self):
+        queue = BatchEventQueue(1)
+        queue.schedule_one(0, 1.0)
+        queue.pop_batch()
+        queue.schedule_one(0, 2.0)
+        assert queue.pop_batch() == (2.0, [0])
+
+
+class TestLinkModelValidation:
+    def test_from_hardware_rejects_zero_rate(self):
+        from repro.otis.hardware import HardwareModel
+
+        with pytest.raises(ValueError, match="rate_gbps must be positive"):
+            LinkModel.from_hardware(HardwareModel(), rate_gbps=0.0)
+
+    def test_from_hardware_rejects_negative_rate(self):
+        from repro.otis.hardware import HardwareModel
+
+        with pytest.raises(ValueError, match="rate_gbps must be positive"):
+            LinkModel.from_hardware(HardwareModel(), rate_gbps=-2.5)
+
+    def test_from_hardware_rejects_nonpositive_message_bits(self):
+        from repro.otis.hardware import HardwareModel
+
+        with pytest.raises(ValueError, match="message_bits must be positive"):
+            LinkModel.from_hardware(HardwareModel(), message_bits=0.0)
+
+    def test_from_hardware_valid(self):
+        from repro.otis.hardware import HardwareModel
+
+        link = LinkModel.from_hardware(
+            HardwareModel(), message_bits=2048.0, rate_gbps=2.0
+        )
+        assert link.transmission_time == pytest.approx(1024.0)
+        assert link.latency > 0
+
+
+class TestThroughputSweepDriver:
+    def test_sweep_shapes_and_curves(self):
+        from repro.otis.h_digraph import h_digraph
+        from repro.simulation.workloads import run_throughput_sweep
+
+        graph = h_digraph(4, 8, 2)
+        sweep = run_throughput_sweep(
+            graph,
+            workloads=("uniform", "permutation"),
+            rates=(None, 2.0),
+            seeds=range(2),
+            num_messages=40,
+        )
+        assert len(sweep.points) == 2 * 2 * 2
+        assert all(point.stats.undelivered == 0 for point in sweep.points)
+        rows = sweep.curves()
+        assert len(rows) == 4
+        assert {row["workload"] for row in rows} == {"uniform", "permutation"}
+        payload = sweep.to_json()
+        assert payload["graph"] == "H(4,8,2)"
+        assert payload["nodes"] == 16 and payload["links"] == 32
+        assert len(payload["curves"]) == 4
+
+    def test_sweep_engines_agree(self):
+        from repro.otis.h_digraph import h_digraph
+        from repro.simulation.workloads import run_throughput_sweep
+
+        graph = h_digraph(4, 8, 2)
+        kwargs = dict(
+            workloads=("uniform", "hotspot"),
+            rates=(None, 1.5),
+            seeds=range(2),
+            num_messages=30,
+        )
+        batched = run_throughput_sweep(graph, engine="batched", **kwargs)
+        event = run_throughput_sweep(graph, engine="event", **kwargs)
+        assert [point.stats for point in batched.points] == [
+            point.stats for point in event.points
+        ]
+
+    def test_make_workload_validation(self):
+        from repro.simulation.workloads import make_workload
+
+        with pytest.raises(ValueError, match="unknown workload"):
+            make_workload("tsunami", 8, 10)
+        traffic = make_workload("uniform", 8, 10, rng=0, rate=2.0)
+        times = [time for _, _, time in traffic]
+        assert times == sorted(times) and times[-1] > 0
+        permutation = make_workload("permutation", 8, 999, rng=1)
+        assert len(permutation) == 8  # ignores num_messages
+
+    def test_sweep_rejects_unknown_engine(self):
+        from repro.otis.h_digraph import h_digraph
+        from repro.simulation.workloads import run_throughput_sweep
+
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_throughput_sweep(h_digraph(4, 8, 2), engine="warp")
+
+
+class TestEngineRegistry:
+    def test_registry_names_and_classes(self):
+        assert SIMULATOR_ENGINES["event"] is NetworkSimulator
+        assert SIMULATOR_ENGINES["batched"] is BatchedNetworkSimulator
+
+    @pytest.mark.parametrize("engine_cls", ENGINES, ids=ENGINE_IDS)
+    def test_invalid_endpoints_both_engines(self, engine_cls):
+        simulator = engine_cls(circuit(3))
+        with pytest.raises(ValueError, match="out of range"):
+            simulator.run([(0, 9, 0.0)])
+
+    def test_batched_rejects_negative_injection_time(self):
+        simulator = BatchedNetworkSimulator(circuit(3))
+        with pytest.raises(ValueError, match="non-negative"):
+            simulator.run([(0, 1, -1.0)])
