@@ -17,12 +17,12 @@ of the search path is tracked across PRs.  All three tests carry the
 tier-1 suite is wanted.
 """
 
-import json
 import time
 from pathlib import Path
 
 import pytest
 
+from repro.analysis.tables import merge_bench_json
 from repro.otis.search import compare_with_paper, table1_rows
 
 _BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_table1.json"
@@ -32,20 +32,19 @@ pytestmark = pytest.mark.table1
 
 def _record(name, result, seconds):
     """Merge one benchmark entry into BENCH_table1.json."""
-    data = {}
-    if _BENCH_PATH.exists():
-        try:
-            data = json.loads(_BENCH_PATH.read_text())
-        except (ValueError, OSError):
-            data = {}
-    data[name] = {
-        "diameter": result.diameter,
-        "rows_found": len(result.rows),
-        "largest_n": result.largest_n,
-        "rows": [[n, [list(split) for split in splits]] for n, splits in result.rows],
-        "wall_time_s": round(seconds, 4),
-    }
-    _BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    merge_bench_json(
+        _BENCH_PATH,
+        name,
+        {
+            "diameter": result.diameter,
+            "rows_found": len(result.rows),
+            "largest_n": result.largest_n,
+            "rows": [
+                [n, [list(split) for split in splits]] for n, splits in result.rows
+            ],
+            "wall_time_s": round(seconds, 4),
+        },
+    )
 
 
 def _timed(once, benchmark, *args, **kwargs):

@@ -10,6 +10,10 @@ the benchmark harness agree on their meaning:
   benchmarks).  These are opt-in: they are skipped unless ``--run-sim`` is
   passed (or the marker is selected explicitly with ``-m sim``), so the
   tier-1 suite keeps running only the fast simulator parity subset.
+* ``sweep`` — slow end-to-end sharded-sweep exercises (kill/resume over a
+  real Table 1 block).  Opt-in exactly like ``sim``, via ``--run-sweep`` or
+  ``-m sweep``; the fast sweep unit tests (manifest determinism, cache
+  semantics, small shard-union parity) run unconditionally.
 """
 
 import pytest
@@ -17,7 +21,11 @@ import pytest
 MARKERS = [
     "table1: Table 1 reproduction benchmarks (deselect with -m 'not table1')",
     "sim: slow simulator workload sweeps (opt-in: pass --run-sim or -m sim)",
+    "sweep: slow end-to-end sharded-sweep runs (opt-in: pass --run-sweep or -m sweep)",
 ]
+
+#: marker name -> the command-line flag that opts it in.
+_OPT_IN = {"sim": "--run-sim", "sweep": "--run-sweep"}
 
 
 def pytest_addoption(parser):
@@ -27,6 +35,12 @@ def pytest_addoption(parser):
         default=False,
         help="run the slow 'sim'-marked simulator workload sweeps",
     )
+    parser.addoption(
+        "--run-sweep",
+        action="store_true",
+        default=False,
+        help="run the slow 'sweep'-marked end-to-end sharded-sweep tests",
+    )
 
 
 def pytest_configure(config):
@@ -35,11 +49,12 @@ def pytest_configure(config):
 
 
 def pytest_collection_modifyitems(config, items):
-    if config.getoption("--run-sim"):
-        return
-    if "sim" in (config.option.markexpr or ""):
-        return  # explicitly selected with -m sim
-    skip_sim = pytest.mark.skip(reason="sim sweeps are opt-in: pass --run-sim")
-    for item in items:
-        if "sim" in item.keywords:
-            item.add_marker(skip_sim)
+    for marker, flag in _OPT_IN.items():
+        if config.getoption(flag):
+            continue
+        if marker in (config.option.markexpr or ""):
+            continue  # explicitly selected with -m <marker>
+        skip = pytest.mark.skip(reason=f"{marker} tests are opt-in: pass {flag}")
+        for item in items:
+            if marker in item.keywords:
+                item.add_marker(skip)

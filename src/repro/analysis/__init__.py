@@ -5,12 +5,13 @@ from repro.analysis.lens_count import (
     lens_scaling_study,
     lens_scaling_table,
 )
-from repro.analysis.tables import format_table, paper_vs_measured
+from repro.analysis.tables import format_table, merge_bench_json, paper_vs_measured
 
 __all__ = [
     "LensScalingRow",
     "lens_scaling_study",
     "lens_scaling_table",
     "format_table",
+    "merge_bench_json",
     "paper_vs_measured",
 ]

@@ -1,17 +1,21 @@
 """Small reporting helpers used by the examples, benchmarks and EXPERIMENTS.md.
 
 Nothing here is scientific: :func:`format_table` renders rows of dictionaries
-as aligned plain text (no external dependency on tabulate), and
+as aligned plain text (no external dependency on tabulate),
 :func:`paper_vs_measured` lines up a paper-reported quantity with the value
-this reproduction measures, computing the relative deviation when both are
-numeric.
+this reproduction measures (computing the relative deviation when both are
+numeric), and :func:`merge_bench_json` is the one shared writer of the
+``BENCH_*.json`` trajectory files (used by the benchmarks and the CLI, so
+every entry goes through the same merge-don't-clobber, sorted-keys path).
 """
 
 from __future__ import annotations
 
+import json
 from collections.abc import Mapping, Sequence
+from pathlib import Path
 
-__all__ = ["format_table", "paper_vs_measured"]
+__all__ = ["format_table", "paper_vs_measured", "merge_bench_json"]
 
 
 def format_table(
@@ -44,6 +48,26 @@ def format_table(
         for line in rendered
     ]
     return "\n".join([header, separator, *body])
+
+
+def merge_bench_json(path: str | Path, name: str, entry: object) -> Path:
+    """Merge one named entry into a ``BENCH_*.json`` trajectory file.
+
+    Existing entries under other names are preserved (the BENCH files track
+    the performance trajectory *across* PRs, so a run must never clobber the
+    whole file); an unreadable or corrupt file is treated as empty rather
+    than aborting the benchmark that produced the fresh numbers.
+    """
+    path = Path(path)
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data[name] = entry
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def paper_vs_measured(

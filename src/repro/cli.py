@@ -10,7 +10,11 @@ Exposes the reproduction's main entry points without writing any Python:
 * ``figure``  — emit a DOT rendering of one of the paper's figure digraphs,
 * ``sim``     — throughput/latency sweep of workloads on ``H(p, q, d)`` with
   the batched network simulator (optionally cross-checked against the
-  event-loop reference).
+  event-loop reference),
+* ``sweep``   — the resumable, shardable degree–diameter sweep
+  (:mod:`repro.otis.sweep`): run a shard with ``--shard i/k``, relaunch with
+  ``--resume`` after an interruption, fold the chunk files with ``--merge``,
+  and memoise split verdicts across runs with ``--cache-dir``.
 
 Each subcommand prints plain text to stdout and exits non-zero on failure, so
 the CLI can be scripted.
@@ -19,11 +23,9 @@ the CLI can be scripted.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-from pathlib import Path
 
-from repro.analysis.tables import format_table
+from repro.analysis.tables import format_table, merge_bench_json
 from repro.core.checks import enumerate_layout_splits, is_otis_layout_of_de_bruijn
 from repro.graphs.drawing import adjacency_listing, otis_wiring_dot, to_dot
 from repro.graphs.generators import de_bruijn, imase_itoh, kautz, reddy_raghavan_kuhl
@@ -114,6 +116,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         metavar="PATH",
         help="merge the sweep result into a JSON file (e.g. BENCH_sim.json)",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="resumable/shardable degree-diameter sweep (chunk manifest + merge)",
+    )
+    sweep.add_argument("-d", type=int, default=2, help="degree")
+    sweep.add_argument("-D", "--diameter", type=int, required=True, help="target diameter")
+    sweep.add_argument("--n-min", type=int, required=True, help="smallest node count")
+    sweep.add_argument("--n-max", type=int, required=True, help="largest node count")
+    sweep.add_argument(
+        "--out-dir",
+        required=True,
+        help="chunk store directory (shared by all shards of one sweep)",
+    )
+    sweep.add_argument(
+        "--shard",
+        default="0/1",
+        metavar="I/K",
+        help="run only round-robin shard I of K (default 0/1 = everything)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip chunks whose result file already exists (safe relaunch)",
+    )
+    sweep.add_argument(
+        "--merge",
+        action="store_true",
+        help="fold the completed chunk files into the final table instead of running",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        help="on-disk split-verdict cache shared across sweeps and CI runs",
+    )
+    sweep.add_argument(
+        "--chunk-size", type=int, default=32, help="(n, p, q) work items per chunk"
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None, help="process-pool workers for this shard"
+    )
+    sweep.add_argument(
+        "--at-most",
+        action="store_true",
+        help="accept any diameter <= D instead of exactly D",
     )
     return parser
 
@@ -249,18 +296,69 @@ def _cmd_sim(args: argparse.Namespace) -> int:
         )
         print(f"parity with event-loop reference: {parity_ok}")
     if args.json:
-        path = Path(args.json)
-        data = {}
-        if path.exists():
-            try:
-                data = json.loads(path.read_text())
-            except (ValueError, OSError):
-                data = {}
         key = f"sweep_H({args.p},{args.q},{args.d})_{sweep.engine}"
-        data[key] = sweep.to_json()
-        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        path = merge_bench_json(args.json, key, sweep.to_json())
         print(f"wrote {path}")
     return 0 if parity_ok else 1
+
+
+def _parse_shard(text: str) -> tuple[int, int]:
+    """Parse ``--shard I/K`` (e.g. ``0/2``) into an ``(index, count)`` pair."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise SystemExit(f"--shard expects I/K (e.g. 0/2), got {text!r}")
+    if count < 1 or not 0 <= index < count:
+        raise SystemExit(f"--shard needs 0 <= I < K, got {text!r}")
+    return index, count
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.otis.search import PAPER_TABLE1, compare_with_paper
+    from repro.otis.sweep import ChunkManifest, ChunkStore, merge_sweep, run_sweep
+
+    if args.n_min < 1 or args.n_max < args.n_min:
+        print("need 1 <= --n-min <= --n-max", file=sys.stderr)
+        return 2
+    manifest = ChunkManifest.build(
+        args.d,
+        args.diameter,
+        range(args.n_min, args.n_max + 1),
+        require_exact=not args.at_most,
+        chunk_size=args.chunk_size,
+    )
+    store = ChunkStore(args.out_dir)
+    print(
+        f"sweep d={args.d} D={args.diameter} n={args.n_min}..{args.n_max}: "
+        f"{len(manifest.chunks)} chunks (code version {manifest.code_version})"
+    )
+    if args.merge:
+        try:
+            result = merge_sweep(manifest, store)
+        except FileNotFoundError as error:
+            print(f"merge failed: {error}", file=sys.stderr)
+            return 1
+        print(result.as_table())
+        if args.diameter in PAPER_TABLE1 and not args.at_most:
+            report = compare_with_paper(result)
+            print(f"paper rows in range reproduced: {report['all_match']}")
+        return 0
+    outcome = run_sweep(
+        manifest,
+        store,
+        shard=_parse_shard(args.shard),
+        resume=args.resume,
+        cache=args.cache_dir,
+        workers=args.workers,
+    )
+    print(
+        f"shard {args.shard}: ran {len(outcome['ran'])} chunks, "
+        f"skipped {len(outcome['skipped'])} already complete"
+    )
+    done = store.completed_ids() & {chunk.chunk_id for chunk in manifest.chunks}
+    print(f"store {store.directory}: {len(done)}/{len(manifest.chunks)} chunks complete")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -274,6 +372,7 @@ def main(argv: list[str] | None = None) -> int:
         "table1": _cmd_table1,
         "figure": _cmd_figure,
         "sim": _cmd_sim,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)
 

@@ -16,6 +16,9 @@ This package models that architecture and everything the paper builds on it:
   (Corollaries 4.4 / 4.6), plus the known ``O(n)``-lens Imase–Itoh layout,
 * :mod:`repro.otis.search` — the degree–diameter exhaustive search that
   regenerates Table 1,
+* :mod:`repro.otis.sweep` — resumable, shardable orchestration of that
+  search: deterministic chunk manifest, atomic per-chunk result store,
+  merge step and the on-disk split-verdict cache,
 * :mod:`repro.otis.hardware` — a parametric hardware cost / power model of
   the free-space optical system (the substitution for physical hardware
   documented in DESIGN.md).
@@ -32,6 +35,13 @@ from repro.otis.layout import (
     optimal_debruijn_layout,
 )
 from repro.otis.search import DegreeDiameterResult, degree_diameter_search, table1_rows
+from repro.otis.sweep import (
+    ChunkManifest,
+    ChunkStore,
+    SplitVerdictCache,
+    merge_sweep,
+    run_sweep,
+)
 
 __all__ = [
     "OTISArchitecture",
@@ -46,6 +56,11 @@ __all__ = [
     "DegreeDiameterResult",
     "degree_diameter_search",
     "table1_rows",
+    "ChunkManifest",
+    "ChunkStore",
+    "SplitVerdictCache",
+    "run_sweep",
+    "merge_sweep",
     "HardwareModel",
     "OpticalTechnology",
 ]

@@ -20,17 +20,26 @@ This module re-runs that search:
   :mod:`repro.graphs.apsp` with early abort at the target diameter,
 * :func:`degree_diameter_search` — sweep a range of ``n`` and report every
   ``(n, p, q)`` whose OTIS digraph has exactly the requested diameter,
-  optionally fanned out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-  with deterministic chunking over the ``n`` values,
+  optionally fanned out over a :class:`~concurrent.futures.ProcessPoolExecutor`,
 * :func:`table1_rows` — the paper's Table 1 rows regenerated (restricted, by
   default, to the ``n`` range the paper prints).
+
+The sweep itself is orchestrated by :mod:`repro.otis.sweep`: the ``(n, p, q)``
+work list is deterministically partitioned into named chunks
+(:class:`repro.otis.sweep.ChunkManifest`), and this module's in-process search
+is "one host consuming every chunk".  The same manifest drives the multi-host
+sharded path (``python -m repro sweep --shard i/k``) with resumable per-chunk
+persistence, and both paths consult the on-disk
+:class:`repro.otis.sweep.SplitVerdictCache` of ``h_diameter`` verdicts when a
+``cache`` is supplied — overlapping Table 1 blocks share many splits, and the
+verdicts are pure functions of ``(p, q, d, D)``.
 
 The expensive part is the all-pairs stage; it runs on the bit-packed
 ``(n, ceil(n/64))`` reachability matrix of
 :func:`repro.graphs.apsp.batched_eccentricities`, so no ``n × n`` int64
 distance matrix is ever materialised on the search path (the matrix-based
 :func:`repro.graphs.properties.distance_matrix` remains available as a
-cross-checked reference).
+cross-checked reference).  See ``docs/apsp.md`` for the engine's contract.
 """
 
 from __future__ import annotations
@@ -211,39 +220,6 @@ class DegreeDiameterResult:
         return "\n".join(lines)
 
 
-def _splits_with_diameter(
-    n: int, d: int, diameter: int, require_exact: bool
-) -> list[tuple[int, int]]:
-    """All OTIS splits of ``n`` nodes whose digraph passes the diameter test."""
-    found: list[tuple[int, int]] = []
-    for p, q in candidate_splits(n, d):
-        graph = h_digraph(p, q, d)
-        value = h_diameter(graph, upper_bound=diameter)
-        if value < 0 or value > diameter:
-            continue
-        if require_exact and value != diameter:
-            continue
-        found.append((p, q))
-    return found
-
-
-def _search_chunk(
-    payload: tuple[int, int, bool, list[int]],
-) -> list[tuple[int, list[tuple[int, int]]]]:
-    """Worker-pool unit: run one deterministic chunk of ``n`` values.
-
-    Module-level (picklable) so :class:`ProcessPoolExecutor` can ship it to
-    worker processes; used serially as well so both paths share one code path.
-    """
-    d, diameter, require_exact, n_chunk = payload
-    rows: list[tuple[int, list[tuple[int, int]]]] = []
-    for n in n_chunk:
-        found = _splits_with_diameter(n, d, diameter, require_exact)
-        if found:
-            rows.append((n, found))
-    return rows
-
-
 def degree_diameter_search(
     d: int,
     diameter: int,
@@ -253,9 +229,21 @@ def degree_diameter_search(
     require_exact: bool = True,
     n_values: list[int] | None = None,
     workers: int | None = None,
-    chunk_size: int = 8,
+    chunk_size: int = 64,
+    cache: "object | str | None" = None,
 ) -> DegreeDiameterResult:
     """Exhaustive search over ``H(p, q, d)`` for a given diameter.
+
+    The sweep always routes through the chunk manifest of
+    :mod:`repro.otis.sweep`: the ``(n, p, q)`` work list is deterministically
+    partitioned into named chunks, and this function is simply "one host
+    consuming every chunk" — serially, or fanned out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  Because the manifest
+    partitioning is a pure function of the parameters (cf. the deterministic
+    work-splitting of Bobpp-style exhaustive search) and the merge orders
+    records canonically, the result is identical whether the chunks ran
+    serially, on a worker pool, or sharded across hosts with
+    :func:`repro.otis.sweep.run_sweep` + :func:`repro.otis.sweep.merge_sweep`.
 
     Parameters
     ----------
@@ -274,45 +262,71 @@ def degree_diameter_search(
         ``n_min..n_max`` sweep (used by the benchmarks to restrict the heavy
         diameter-10 block to the rows the paper prints).
     workers:
-        When given and ``> 1``, the sweep is partitioned into contiguous
-        chunks of ``chunk_size`` node counts and fanned out over a
-        :class:`~concurrent.futures.ProcessPoolExecutor`.  The partitioning
-        is a pure function of the input (cf. the deterministic
-        work-splitting of Bobpp-style exhaustive search), and chunk results
-        are concatenated in submission order, so the result is identical to
-        the serial sweep regardless of worker scheduling.
+        When given and ``> 1``, the manifest's chunks are fanned out over a
+        :class:`~concurrent.futures.ProcessPoolExecutor`; chunk results are
+        merged in manifest order, so the result is identical to the serial
+        sweep regardless of worker scheduling.
     chunk_size:
-        Node counts per worker chunk (only used with ``workers``).
+        ``(n, p, q)`` work items per chunk (a chunk is the unit of worker
+        dispatch and, in the sharded path, of resumable persistence).
+    cache:
+        A :class:`repro.otis.sweep.SplitVerdictCache`, or a directory path
+        from which one is opened keyed by ``(d, diameter, code_version)``.
+        Memoised ``h_diameter`` verdicts are consulted before any graph is
+        built, so overlapping Table 1 blocks and repeated runs skip the
+        expensive all-pairs stage entirely.
 
     Returns
     -------
     DegreeDiameterResult
     """
+    from repro.otis.sweep import (
+        ChunkManifest,
+        SplitVerdictCache,
+        fold_records,
+        run_chunk,
+    )
+
     if n_min < 1 or n_max < n_min:
         raise ValueError("need 1 <= n_min <= n_max")
-    if chunk_size < 1:
-        raise ValueError("chunk_size must be positive")
-    sweep = (
+    sweep_ns = (
         list(range(n_min, n_max + 1)) if n_values is None else sorted(set(n_values))
     )
-    rows: list[tuple[int, list[tuple[int, int]]]] = []
-    if workers is not None and workers > 1 and len(sweep) > 1:
-        chunks = [
-            sweep[start : start + chunk_size]
-            for start in range(0, len(sweep), chunk_size)
-        ]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_search_chunk, (d, diameter, require_exact, chunk))
-                for chunk in chunks
-            ]
-            for future in futures:
-                rows.extend(future.result())
-    else:
-        rows = _search_chunk((d, diameter, require_exact, sweep))
-    return DegreeDiameterResult(
-        d=d, diameter=diameter, rows=rows, n_range=(n_min, n_max)
+    manifest = ChunkManifest.build(
+        d, diameter, sweep_ns, require_exact=require_exact, chunk_size=chunk_size
     )
+    if isinstance(cache, SplitVerdictCache):
+        cache_dir: str | None = str(cache.directory)
+        cache_version = cache.version
+    elif cache is not None:
+        cache_dir = str(cache)
+        cache_version = manifest.code_version
+    else:
+        cache_dir, cache_version = None, manifest.code_version
+    payloads = [
+        (d, diameter, chunk.items, cache_dir, cache_version)
+        for chunk in manifest.chunks
+    ]
+    records: list[dict] = []
+    if workers is not None and workers > 1 and len(payloads) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for chunk_records in pool.map(run_chunk, payloads):
+                records.extend(chunk_records)
+    else:
+        # One shared cache view across all chunks, so a caller-supplied
+        # cache object accumulates its hit/miss ledger.
+        local_cache = (
+            cache
+            if isinstance(cache, SplitVerdictCache)
+            else (
+                SplitVerdictCache(cache_dir, d, diameter, version=cache_version)
+                if cache_dir is not None
+                else None
+            )
+        )
+        for payload in payloads:
+            records.extend(run_chunk(payload, cache=local_cache))
+    return fold_records(manifest, records, n_range=(n_min, n_max))
 
 
 def table1_rows(
@@ -323,6 +337,7 @@ def table1_rows(
     *,
     printed_rows_only: bool = False,
     workers: int | None = None,
+    cache: "object | str | None" = None,
 ) -> DegreeDiameterResult:
     """Regenerate one block of Table 1.
 
@@ -332,6 +347,13 @@ def table1_rows(
     only the node counts printed by the paper are tested (much faster for the
     diameter-10 block; the full sweep is run by
     ``examples/degree_diameter_search.py``).
+
+    ``cache`` (a :class:`repro.otis.sweep.SplitVerdictCache` or a directory
+    path) memoises the per-split verdicts on disk: the Table 1 blocks share
+    many ``(p, q)`` splits, so warming the cache on one block speeds up the
+    others — and makes a repeated run of the same block near-instant (the
+    cold-vs-warm timing is tracked in ``BENCH_table1.json`` by
+    ``benchmarks/test_sweep_cache.py``).
 
     >>> result = table1_rows(8, n_min=255, n_max=256)
     >>> result.splits_for(256)
@@ -351,7 +373,7 @@ def table1_rows(
             n for n, _ in PAPER_TABLE1[diameter] if n_min <= n <= n_max
         ]
     return degree_diameter_search(
-        d, diameter, n_min, n_max, n_values=n_values, workers=workers
+        d, diameter, n_min, n_max, n_values=n_values, workers=workers, cache=cache
     )
 
 

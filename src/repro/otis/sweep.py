@@ -1,0 +1,557 @@
+"""Resumable, shardable orchestration of the degree–diameter sweep.
+
+The full diameter-10 block of Table 1 tests every divisor split of every
+``n`` up to the Kautz order 1536 — hours of work that one wants to spread
+over several hosts, interrupt, and resume.  This module supplies the three
+pieces that make that safe, in the deterministic-partitioning style of
+Bobpp-like exhaustive search frameworks (see PAPERS.md):
+
+* :class:`ChunkManifest` — a pure function of the search parameters that
+  partitions the ``(n, p, q)`` work list into *named* chunks.  A chunk id is
+  a stable hash of the chunk's work items together with the search
+  parameters and :func:`code_version`, so every host (and every re-run)
+  derives the identical manifest and agrees on which file holds which work.
+* :class:`ChunkStore` — a directory of per-chunk JSON-lines result files.
+  A chunk file is written to a temporary name and published with one atomic
+  :func:`os.replace`, so a file either holds the complete chunk or does not
+  exist; an interrupted sweep resumes by skipping the chunk ids already on
+  disk (:func:`run_sweep` with ``resume=True``).
+* :class:`SplitVerdictCache` — an on-disk memo of
+  :func:`repro.otis.search.h_diameter` verdicts keyed by
+  ``(p, q, d, target_D)`` and scoped by :func:`code_version`.  ``h_diameter``
+  is a pure function of those parameters, and overlapping Table 1 blocks
+  (plus repeated CI runs) ask for the same splits again and again; with a
+  warm cache they are answered from disk.  Bumping the code version (any
+  change to the verdict-defining sources) switches to a fresh cache file, so
+  stale verdicts can never leak across versions.
+
+:func:`run_sweep` executes (a shard of) a manifest into a store and
+:func:`merge_sweep` folds the chunk files back into the same
+:class:`~repro.otis.search.DegreeDiameterResult` that an in-process
+:func:`~repro.otis.search.degree_diameter_search` returns — byte-identical
+rows, regardless of how the work was sharded.  The CLI front-end is
+``python -m repro sweep`` (``--shard i/k``, ``--resume``, ``--merge``,
+``--cache-dir``).
+
+On-disk formats (all JSON, one object per line in the ``.jsonl`` files):
+
+* chunk file ``<out_dir>/chunk-<id>.jsonl`` — one record
+  ``{"n": n, "p": p, "q": q, "verdict": v}`` per work item, where ``v`` is
+  the raw staged verdict of ``h_diameter(h_digraph(p, q, d), upper_bound=D)``
+  (``-1`` not strongly connected, ``0..D`` exact diameter, ``D+1`` "too
+  large").  Storing the raw verdict keeps the merge free to apply either
+  the exact-diameter or the at-most-diameter filter.
+* cache file ``<cache_dir>/verdicts-d<d>-D<D>-<code_version>.jsonl`` — one
+  record ``{"p": p, "q": q, "verdict": v}`` per memoised split.
+
+>>> manifest = ChunkManifest.build(2, 4, [16], chunk_size=2, code_version="v1")
+>>> [chunk.items for chunk in manifest.chunks]
+[((16, 1, 32), (16, 2, 16)), ((16, 4, 8),)]
+>>> manifest.shard(0, 2) == manifest.chunks[0::2]
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+
+from repro.version import __version__
+
+__all__ = [
+    "code_version",
+    "WorkItem",
+    "SweepChunk",
+    "ChunkManifest",
+    "ChunkStore",
+    "SplitVerdictCache",
+    "run_chunk",
+    "run_sweep",
+    "merge_sweep",
+    "fold_records",
+]
+
+#: ``(n, p, q)`` — one candidate split of ``n`` nodes to test.
+WorkItem = tuple[int, int, int]
+
+#: Source files whose content defines what an ``h_diameter`` verdict *means*.
+#: Their hash is folded into :func:`code_version`, so editing any of them
+#: invalidates every on-disk verdict and renames every chunk — a resumed
+#: sweep can never mix results computed by different code.
+_VERDICT_SOURCES = (
+    "graphs/digraph.py",
+    "graphs/traversal.py",
+    "graphs/apsp.py",
+    "otis/h_digraph.py",
+    "otis/search.py",
+)
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Stable fingerprint of the verdict-defining code.
+
+    A 12-hex-digit SHA-256 prefix over the package version string and the
+    bytes of the sources listed in ``_VERDICT_SOURCES``.  Part of every chunk
+    id and every cache file name: two processes agree on a chunk or cache
+    entry only when they run the *same* verdict code.
+    """
+    digest = hashlib.sha256()
+    digest.update(__version__.encode())
+    package_root = Path(__file__).resolve().parent.parent
+    for relative in _VERDICT_SOURCES:
+        digest.update(relative.encode())
+        digest.update((package_root / relative).read_bytes())
+    return digest.hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class SweepChunk:
+    """One named unit of sweep work.
+
+    ``chunk_id`` is the stable name (also the result file name); ``index``
+    is the chunk's position in the manifest; ``items`` the ``(n, p, q)``
+    work items, in the canonical (``n`` then ``p`` ascending) order.
+    """
+
+    chunk_id: str
+    index: int
+    items: tuple[WorkItem, ...]
+
+
+@dataclass(frozen=True)
+class ChunkManifest:
+    """Deterministic partition of a degree–diameter sweep into named chunks.
+
+    Built by :meth:`build` as a pure function of ``(d, diameter,
+    require_exact, n_values, chunk_size, code_version)``: every host that
+    receives the same parameters derives bit-identical chunk ids, which is
+    what lets ``--shard i/k`` invocations on different machines split the
+    work with no coordination beyond the shared parameters.
+
+    ``require_exact`` is carried in the manifest (and hashed into the chunk
+    ids) even though chunk files store raw verdicts — it is applied at merge
+    time, and keeping it in the identity means a store directory can never
+    silently mix sweeps that were launched with different filters.
+    """
+
+    d: int
+    diameter: int
+    require_exact: bool
+    n_values: tuple[int, ...]
+    chunk_size: int
+    code_version: str
+    chunks: tuple[SweepChunk, ...]
+
+    @classmethod
+    def build(
+        cls,
+        d: int,
+        diameter: int,
+        n_values,
+        *,
+        require_exact: bool = True,
+        chunk_size: int = 32,
+        code_version: str | None = None,
+    ) -> "ChunkManifest":
+        """Partition the ``(n, p, q)`` work list into contiguous named chunks.
+
+        ``n_values`` is deduplicated and sorted; each ``n`` expands to its
+        :func:`~repro.otis.search.candidate_splits`, and the flattened item
+        list is cut into chunks of ``chunk_size`` items.  ``code_version``
+        defaults to :func:`code_version` and should only be overridden by
+        tests (to simulate a version bump without editing sources).
+        """
+        from repro.otis.search import candidate_splits
+
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        version = globals()["code_version"]() if code_version is None else code_version
+        ns = tuple(sorted(set(int(n) for n in n_values)))
+        items: list[WorkItem] = [
+            (n, p, q) for n in ns for p, q in candidate_splits(n, d)
+        ]
+        chunks = []
+        for index, start in enumerate(range(0, len(items), chunk_size)):
+            chunk_items = tuple(items[start : start + chunk_size])
+            payload = json.dumps(
+                [d, diameter, require_exact, version, chunk_items],
+                separators=(",", ":"),
+            )
+            chunk_id = hashlib.sha256(payload.encode()).hexdigest()[:16]
+            chunks.append(SweepChunk(chunk_id=chunk_id, index=index, items=chunk_items))
+        return cls(
+            d=d,
+            diameter=diameter,
+            require_exact=require_exact,
+            n_values=ns,
+            chunk_size=chunk_size,
+            code_version=version,
+            chunks=tuple(chunks),
+        )
+
+    def shard(self, index: int, count: int) -> tuple[SweepChunk, ...]:
+        """The chunks assigned to shard ``index`` of ``count`` (round-robin).
+
+        Round-robin (``chunks[index::count]``) rather than contiguous ranges,
+        so the expensive large-``n`` chunks at the end of a Table 1 block
+        spread evenly over the shards.  The shards partition :attr:`chunks`:
+        their union over ``index in range(count)`` is exactly the manifest.
+        """
+        if count < 1:
+            raise ValueError("shard count must be positive")
+        if not 0 <= index < count:
+            raise ValueError(f"shard index must be in [0, {count}), got {index}")
+        return self.chunks[index::count]
+
+
+class ChunkStore:
+    """Directory of per-chunk result files with atomic completion.
+
+    A chunk's results are streamed to a ``tempfile`` in the store directory
+    and published under ``chunk-<id>.jsonl`` with one :func:`os.replace` —
+    POSIX-atomic, so :meth:`is_complete` (existence of the final name) can
+    never observe a half-written chunk.  Killing a sweep mid-chunk leaves at
+    worst a ``.tmp-*`` orphan, which resumption ignores and overwrites.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, chunk: SweepChunk) -> Path:
+        """The (final, post-publication) result file of a chunk."""
+        return self.directory / f"chunk-{chunk.chunk_id}.jsonl"
+
+    def is_complete(self, chunk: SweepChunk) -> bool:
+        """Whether the chunk's results were fully written and published."""
+        return self.path_for(chunk).exists()
+
+    def completed_ids(self) -> set[str]:
+        """Chunk ids with a published result file in the store."""
+        return {
+            path.name[len("chunk-") : -len(".jsonl")]
+            for path in self.directory.glob("chunk-*.jsonl")
+        }
+
+    def write(self, chunk: SweepChunk, records: list[dict]) -> Path:
+        """Atomically publish a chunk's records (write-temp, fsync, rename)."""
+        target = self.path_for(chunk)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".tmp-{chunk.chunk_id}-", suffix=".jsonl", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                for record in records:
+                    handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return target
+
+    def read(self, chunk: SweepChunk) -> list[dict]:
+        """The records of a completed chunk (raises when not complete)."""
+        with self.path_for(chunk).open() as handle:
+            return [json.loads(line) for line in handle if line.strip()]
+
+
+class SplitVerdictCache:
+    """On-disk memo of ``h_diameter`` verdicts for OTIS splits.
+
+    One JSON-lines file per ``(d, target_D, code_version)`` triple, holding
+    ``{"p": p, "q": q, "verdict": v}`` records.  The key design points:
+
+    * the **code version is part of the file name**, not of each record:
+      bumping it (any edit to a verdict-defining source) makes the cache
+      start cold in a fresh file, so a verdict computed by old code can
+      never satisfy a lookup from new code — correctness does not depend on
+      anyone remembering to clear a directory;
+    * records are *appended*, one small line per :meth:`put`, so concurrent
+      sweep processes sharing a cache directory interleave whole lines;
+      duplicated entries are harmless (last one wins on load, and verdicts
+      are deterministic so duplicates always agree);
+    * a malformed trailing line (torn write on a crash) is skipped on load.
+
+    ``hits`` / ``misses`` counters are exposed for the cold-vs-warm
+    benchmark (``benchmarks/test_sweep_cache.py``).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        d: int,
+        target_diameter: int,
+        *,
+        version: str | None = None,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.d = d
+        self.target_diameter = target_diameter
+        self.version = code_version() if version is None else version
+        self.path = (
+            self.directory
+            / f"verdicts-d{d}-D{target_diameter}-{self.version}.jsonl"
+        )
+        self.hits = 0
+        self.misses = 0
+        self._memory: dict[tuple[int, int], int] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    self._memory[(int(record["p"]), int(record["q"]))] = int(
+                        record["verdict"]
+                    )
+                except (ValueError, KeyError, TypeError):
+                    continue  # torn trailing line from a crashed writer
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def get(self, p: int, q: int) -> int | None:
+        """The memoised verdict for split ``(p, q)``, or None on a miss."""
+        verdict = self._memory.get((p, q))
+        if verdict is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return verdict
+
+    def put(self, p: int, q: int, verdict: int) -> None:
+        """Record a verdict (in memory and appended to the cache file)."""
+        if (p, q) in self._memory:
+            return
+        self._memory[(p, q)] = verdict
+        line = json.dumps(
+            {"p": p, "q": q, "verdict": verdict}, separators=(",", ":")
+        )
+        with self.path.open("a") as handle:
+            handle.write(line + "\n")
+
+
+def _item_verdict(
+    n: int, p: int, q: int, d: int, diameter: int, cache: SplitVerdictCache | None
+) -> dict:
+    """Verdict record for one work item, consulting the cache when given."""
+    from repro.otis.h_digraph import h_digraph
+    from repro.otis.search import h_diameter
+
+    verdict = cache.get(p, q) if cache is not None else None
+    if verdict is None:
+        verdict = h_diameter(h_digraph(p, q, d), upper_bound=diameter)
+        if cache is not None:
+            cache.put(p, q, verdict)
+    return {"n": n, "p": p, "q": q, "verdict": verdict}
+
+
+def run_chunk(
+    payload: tuple[int, int, tuple[WorkItem, ...], str | None, str | None],
+    cache: SplitVerdictCache | None = None,
+) -> list[dict]:
+    """Compute the verdict records of one chunk.
+
+    ``payload`` is ``(d, diameter, items, cache_dir, cache_version)`` — a
+    plain picklable tuple so :class:`ProcessPoolExecutor` workers can run
+    chunks; the serial path calls it with the same payload, keeping one code
+    path for both.  Each worker opens its own :class:`SplitVerdictCache`
+    view of ``cache_dir`` (appends interleave safely, see the cache's
+    docstring); a serial caller may instead pass an already-open ``cache``,
+    which takes precedence and keeps one hit/miss ledger across chunks.
+    """
+    d, diameter, items, cache_dir, cache_version = payload
+    if cache is None and cache_dir is not None:
+        cache = SplitVerdictCache(cache_dir, d, diameter, version=cache_version)
+    return [_item_verdict(n, p, q, d, diameter, cache) for n, p, q in items]
+
+
+def fold_records(
+    manifest: ChunkManifest,
+    records: list[dict],
+    *,
+    n_range: tuple[int, int] | None = None,
+):
+    """Fold verdict records into a :class:`DegreeDiameterResult`.
+
+    Applies the manifest's ``require_exact`` filter, groups by ``n`` and
+    orders rows by ``n`` and splits by ``p`` — exactly the shape
+    :func:`~repro.otis.search.degree_diameter_search` produces, so sharded
+    and in-process sweeps are interchangeable downstream.  ``n_range``
+    defaults to the extremes of the manifest's ``n_values``; the in-process
+    search passes its original ``(n_min, n_max)`` instead.
+    """
+    from repro.otis.search import DegreeDiameterResult
+
+    kept: dict[int, list[tuple[int, int]]] = {}
+    for record in sorted(records, key=lambda r: (r["n"], r["p"], r["q"])):
+        verdict = record["verdict"]
+        if verdict < 0 or verdict > manifest.diameter:
+            continue
+        if manifest.require_exact and verdict != manifest.diameter:
+            continue
+        kept.setdefault(record["n"], []).append((record["p"], record["q"]))
+    if n_range is None:
+        n_range = (
+            (manifest.n_values[0], manifest.n_values[-1])
+            if manifest.n_values
+            else (0, 0)
+        )
+    return DegreeDiameterResult(
+        d=manifest.d,
+        diameter=manifest.diameter,
+        rows=sorted(kept.items()),
+        n_range=n_range,
+    )
+
+
+def run_sweep(
+    manifest: ChunkManifest,
+    store: ChunkStore | str | Path,
+    *,
+    shard: tuple[int, int] = (0, 1),
+    resume: bool = False,
+    cache: SplitVerdictCache | str | Path | None = None,
+    workers: int | None = None,
+) -> dict:
+    """Execute (one shard of) a manifest into a chunk store.
+
+    Parameters
+    ----------
+    manifest:
+        The work partition; every cooperating host must build it with the
+        same parameters (the chunk ids are the coordination mechanism).
+    store:
+        A :class:`ChunkStore` or a directory path for one.  Chunk results
+        are published atomically, one file per chunk.
+    shard:
+        ``(index, count)`` — run only the round-robin shard ``index`` of
+        ``count`` (default: everything).  Different shards write disjoint
+        chunk files, so any number of hosts can share one store directory
+        (e.g. over NFS) without locking.
+    resume:
+        Skip chunks whose result file already exists.  This is what makes
+        an interrupted sweep safe to relaunch: completed chunks are kept,
+        the chunk that was in flight (no published file) is recomputed.
+    cache:
+        A :class:`SplitVerdictCache`, or a cache *directory* from which one
+        is opened with the manifest's parameters.  Consulted before every
+        ``h_diameter`` call and fed with every fresh verdict.
+    workers:
+        When ``> 1``, chunks of this shard fan out over a
+        :class:`ProcessPoolExecutor` (each worker opening its own cache
+        view); results are identical regardless of scheduling because every
+        chunk is an independent pure computation.
+
+    Returns
+    -------
+    dict with ``ran`` / ``skipped`` chunk-id lists and the store directory.
+    """
+    if not isinstance(store, ChunkStore):
+        store = ChunkStore(store)
+    shard_index, shard_count = shard
+    chunks = manifest.shard(shard_index, shard_count)
+    todo = []
+    skipped = []
+    for chunk in chunks:
+        if resume and store.is_complete(chunk):
+            skipped.append(chunk.chunk_id)
+        else:
+            todo.append(chunk)
+
+    cache_dir: str | None = None
+    local_cache: SplitVerdictCache | None = None
+    if isinstance(cache, SplitVerdictCache):
+        local_cache = cache
+        cache_dir = str(cache.directory)
+        cache_version = cache.version
+    elif cache is not None:
+        cache_dir = str(cache)
+        cache_version = manifest.code_version
+        local_cache = SplitVerdictCache(
+            cache_dir, manifest.d, manifest.diameter, version=cache_version
+        )
+    else:
+        cache_version = manifest.code_version
+
+    payloads = [
+        (manifest.d, manifest.diameter, chunk.items, cache_dir, cache_version)
+        for chunk in todo
+    ]
+    if workers is not None and workers > 1 and len(todo) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Publish each chunk the moment its future completes (not in
+            # submission order): if the process dies while one slow chunk is
+            # still in flight, every finished chunk is already on disk and a
+            # --resume relaunch recomputes only the one that was lost.
+            futures = {
+                pool.submit(run_chunk, payload): chunk
+                for chunk, payload in zip(todo, payloads)
+            }
+            for future in as_completed(futures):
+                store.write(futures[future], future.result())
+    else:
+        for chunk, payload in zip(todo, payloads):
+            store.write(chunk, run_chunk(payload, cache=local_cache))
+    return {
+        "ran": [chunk.chunk_id for chunk in todo],
+        "skipped": skipped,
+        "store": str(store.directory),
+    }
+
+
+def merge_sweep(manifest: ChunkManifest, store: ChunkStore | str | Path):
+    """Fold a store's chunk files into a :class:`DegreeDiameterResult`.
+
+    Raises ``FileNotFoundError`` naming the missing chunk ids when any chunk
+    of the manifest has not been published yet — a partial merge would
+    silently drop table rows, which is exactly the failure mode the named
+    manifest exists to prevent.
+    """
+    if not isinstance(store, ChunkStore):
+        store = ChunkStore(store)
+    missing = [
+        chunk.chunk_id for chunk in manifest.chunks if not store.is_complete(chunk)
+    ]
+    if missing:
+        message = (
+            f"{len(missing)} of {len(manifest.chunks)} chunks incomplete "
+            f"(e.g. {missing[:3]}); run the remaining shards (or --resume) first"
+        )
+        # Chunk files that belong to no chunk of *this* manifest usually mean
+        # the manifest identity changed under the store — a code-version bump
+        # (any edit to a verdict-defining source) or different parameters
+        # (chunk_size, require_exact, range) rename every chunk id.  Saying
+        # "re-run the shards" alone would silently discard a completed sweep.
+        orphans = store.completed_ids() - {c.chunk_id for c in manifest.chunks}
+        if orphans:
+            message += (
+                f"; NOTE: the store also holds {len(orphans)} chunk file(s) from "
+                "a different manifest — the code version or sweep parameters "
+                f"(chunk_size, require_exact, n range) likely changed since "
+                f"they were written (current code version: {manifest.code_version})"
+            )
+        raise FileNotFoundError(message)
+    records: list[dict] = []
+    for chunk in manifest.chunks:
+        records.extend(store.read(chunk))
+    return fold_records(manifest, records)

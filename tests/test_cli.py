@@ -136,6 +136,67 @@ class TestSimCommand:
         assert entry["graph"] == "H(4,8,2)"
         assert entry["curves"][0]["delivered"] == 20
 
+class TestSweepCommand:
+    def _args(self, tmp_path, *extra):
+        return [
+            "sweep",
+            "-D", "6",
+            "--n-min", "62",
+            "--n-max", "66",
+            "--out-dir", str(tmp_path / "chunks"),
+            "--chunk-size", "8",
+            *extra,
+        ]
+
+    def test_sharded_run_then_merge(self, capsys, tmp_path):
+        assert main(self._args(tmp_path, "--shard", "0/2")) == 0
+        assert main(self._args(tmp_path, "--shard", "1/2")) == 0
+        capsys.readouterr()
+        assert main(self._args(tmp_path, "--merge")) == 0
+        out = capsys.readouterr().out
+        assert "B(2,6)" in out  # n=64 row with its three splits
+        assert "8     16" in out
+
+    def test_merge_refuses_partial_store(self, capsys, tmp_path):
+        assert main(self._args(tmp_path, "--shard", "0/2")) == 0
+        capsys.readouterr()
+        assert main(self._args(tmp_path, "--merge")) == 1
+        assert "chunks incomplete" in capsys.readouterr().err
+
+    def test_resume_skips_completed_chunks(self, capsys, tmp_path):
+        assert main(self._args(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self._args(tmp_path, "--resume")) == 0
+        out = capsys.readouterr().out
+        assert "ran 0 chunks" in out
+
+    def test_cache_dir_is_created_and_filled(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(self._args(tmp_path, "--cache-dir", str(cache_dir))) == 0
+        assert list(cache_dir.glob("verdicts-d2-D6-*.jsonl"))
+
+    def test_rejects_malformed_shard(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(self._args(tmp_path, "--shard", "2/2"))
+        with pytest.raises(SystemExit):
+            main(self._args(tmp_path, "--shard", "nope"))
+
+    def test_rejects_bad_range(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "-D", "6",
+                    "--n-min", "10",
+                    "--n-max", "5",
+                    "--out-dir", str(tmp_path / "chunks"),
+                ]
+            )
+            == 2
+        )
+
+
+class TestSimCommandJson:
     def test_sim_json_key_matches_recorded_engine(self, capsys, tmp_path):
         # --engine both records the batched sweep: key and payload must agree
         target = tmp_path / "BENCH_sim.json"

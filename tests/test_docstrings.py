@@ -20,6 +20,8 @@ MODULE_NAMES = [
     "repro.graphs.generators",
     "repro.otis.architecture",
     "repro.otis.h_digraph",
+    "repro.otis.search",
+    "repro.otis.sweep",
     "repro.routing.paths",
     "repro.core.checks",
     "repro.core.isomorphisms",

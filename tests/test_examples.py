@@ -61,3 +61,9 @@ class TestExamples:
         assert "B(2,8)" in out
         assert "K(2,8)" in out
         assert "all printed rows reproduced: True" in out
+        # The resumable-sweep demonstration: interrupt, resume from the
+        # chunk store (warm verdict cache), merge identically.
+        assert "merge before resume correctly fails" in out
+        assert "resume: ran 1 chunk(s), skipped" in out
+        assert "misses 0" in out
+        assert "merged rows identical to direct search: True" in out

@@ -1,0 +1,311 @@
+"""Tests for the resumable sharded sweep subsystem (repro.otis.sweep).
+
+The fast tests cover the contracts the orchestration rests on: manifest
+determinism (same parameters → same chunk ids, everywhere), atomic chunk
+publication (a store never shows a half-written chunk), resume-after-kill
+(relaunching reproduces byte-identical merged rows), cache hit/miss
+semantics and code-version invalidation, and shard-union parity with the
+in-process ``degree_diameter_search``.  The one slow end-to-end exercise
+(kill/resume over a real Table 1 block) is opt-in via ``--run-sweep``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.otis.search import degree_diameter_search, table1_rows
+from repro.otis.sweep import (
+    ChunkManifest,
+    ChunkStore,
+    SplitVerdictCache,
+    code_version,
+    merge_sweep,
+    run_sweep,
+)
+
+D6_ARGS = dict(d=2, diameter=6, n_min=60, n_max=70)
+
+
+def d6_manifest(**overrides):
+    params = dict(
+        d=2, diameter=6, n_values=range(60, 71), chunk_size=9, code_version="test-v1"
+    )
+    params.update(overrides)
+    return ChunkManifest.build(
+        params.pop("d"), params.pop("diameter"), params.pop("n_values"), **params
+    )
+
+
+class TestCodeVersion:
+    def test_stable_within_process(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 12
+
+    def test_is_hex(self):
+        int(code_version(), 16)
+
+
+class TestManifestDeterminism:
+    def test_same_inputs_same_chunk_ids(self):
+        first = d6_manifest()
+        second = d6_manifest()
+        assert [c.chunk_id for c in first.chunks] == [
+            c.chunk_id for c in second.chunks
+        ]
+        assert first == second
+
+    def test_n_values_order_and_duplicates_are_canonicalised(self):
+        shuffled = d6_manifest(n_values=[70, 60, 65, 60, 61, 62, 63, 64, 66, 67, 68, 69, 65])
+        assert shuffled == d6_manifest()
+
+    def test_code_version_changes_every_chunk_id(self):
+        v1 = d6_manifest()
+        v2 = d6_manifest(code_version="test-v2")
+        assert {c.chunk_id for c in v1.chunks}.isdisjoint(
+            c.chunk_id for c in v2.chunks
+        )
+
+    def test_parameters_change_chunk_ids(self):
+        base = {c.chunk_id for c in d6_manifest().chunks}
+        assert base.isdisjoint(c.chunk_id for c in d6_manifest(diameter=7).chunks)
+        assert base.isdisjoint(
+            c.chunk_id for c in d6_manifest(require_exact=False).chunks
+        )
+
+    def test_items_cover_all_candidate_splits_in_order(self):
+        from repro.otis.search import candidate_splits
+
+        manifest = d6_manifest()
+        items = [item for chunk in manifest.chunks for item in chunk.items]
+        expected = [
+            (n, p, q) for n in range(60, 71) for p, q in candidate_splits(n, 2)
+        ]
+        assert items == expected
+
+    def test_shards_partition_the_chunks(self):
+        manifest = d6_manifest(chunk_size=3)
+        for count in (1, 2, 3, 5):
+            shards = [manifest.shard(i, count) for i in range(count)]
+            collected = sorted(
+                (chunk.index for shard in shards for chunk in shard)
+            )
+            assert collected == list(range(len(manifest.chunks)))
+
+    def test_shard_validation(self):
+        manifest = d6_manifest()
+        with pytest.raises(ValueError):
+            manifest.shard(2, 2)
+        with pytest.raises(ValueError):
+            manifest.shard(0, 0)
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(ValueError):
+            d6_manifest(chunk_size=0)
+
+
+class TestChunkStore:
+    def test_atomic_write_and_read(self, tmp_path):
+        manifest = d6_manifest()
+        store = ChunkStore(tmp_path)
+        chunk = manifest.chunks[0]
+        records = [{"n": 60, "p": 2, "q": 60, "verdict": 6}]
+        store.write(chunk, records)
+        assert store.is_complete(chunk)
+        assert store.read(chunk) == records
+        assert store.completed_ids() == {chunk.chunk_id}
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        manifest = d6_manifest()
+        store = ChunkStore(tmp_path)
+        store.write(manifest.chunks[0], [{"n": 60, "p": 2, "q": 60, "verdict": 6}])
+        leftovers = [p.name for p in tmp_path.iterdir() if not p.name.startswith("chunk-")]
+        assert leftovers == []
+
+    def test_orphaned_temp_file_is_not_a_completed_chunk(self, tmp_path):
+        # Simulate a writer killed mid-chunk: a .tmp-* file exists but was
+        # never published.  The store must not count it as complete.
+        manifest = d6_manifest()
+        store = ChunkStore(tmp_path)
+        chunk = manifest.chunks[0]
+        (tmp_path / f".tmp-{chunk.chunk_id}-dead.jsonl").write_text('{"n": 60}\n')
+        assert not store.is_complete(chunk)
+        assert store.completed_ids() == set()
+
+
+class TestSplitVerdictCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = SplitVerdictCache(tmp_path, 2, 6, version="test-v1")
+        assert cache.get(2, 64) is None
+        cache.put(2, 64, 6)
+        assert cache.get(2, 64) == 6
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_persists_across_instances(self, tmp_path):
+        SplitVerdictCache(tmp_path, 2, 6, version="test-v1").put(4, 32, 6)
+        reopened = SplitVerdictCache(tmp_path, 2, 6, version="test-v1")
+        assert reopened.get(4, 32) == 6
+        assert len(reopened) == 1
+
+    def test_code_version_bump_invalidates(self, tmp_path):
+        old = SplitVerdictCache(tmp_path, 2, 6, version="test-v1")
+        old.put(2, 64, 6)
+        bumped = SplitVerdictCache(tmp_path, 2, 6, version="test-v2")
+        assert bumped.get(2, 64) is None  # fresh file, cold cache
+        assert old.path != bumped.path
+
+    def test_scoped_by_degree_and_diameter(self, tmp_path):
+        SplitVerdictCache(tmp_path, 2, 6, version="v").put(2, 64, 6)
+        other_d = SplitVerdictCache(tmp_path, 3, 6, version="v")
+        other_D = SplitVerdictCache(tmp_path, 2, 7, version="v")
+        assert other_d.get(2, 64) is None
+        assert other_D.get(2, 64) is None
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        cache = SplitVerdictCache(tmp_path, 2, 6, version="test-v1")
+        cache.put(2, 64, 6)
+        with cache.path.open("a") as handle:
+            handle.write('{"p": 4, "q": 32, "verd')  # crash mid-write
+        reopened = SplitVerdictCache(tmp_path, 2, 6, version="test-v1")
+        assert reopened.get(2, 64) == 6
+        assert len(reopened) == 1
+
+    def test_duplicate_put_is_idempotent(self, tmp_path):
+        cache = SplitVerdictCache(tmp_path, 2, 6, version="test-v1")
+        cache.put(2, 64, 6)
+        cache.put(2, 64, 6)
+        assert len(cache.path.read_text().splitlines()) == 1
+
+
+class TestSweepParity:
+    def test_shard_union_equals_unsharded_search(self, tmp_path):
+        direct = degree_diameter_search(2, 6, 60, 70)
+        manifest = ChunkManifest.build(2, 6, range(60, 71), chunk_size=5)
+        store = ChunkStore(tmp_path)
+        for index in range(3):
+            run_sweep(manifest, store, shard=(index, 3))
+        merged = merge_sweep(manifest, store)
+        assert merged.rows == direct.rows
+        assert merged.d == direct.d and merged.diameter == direct.diameter
+
+    def test_resume_after_kill_reproduces_identical_rows(self, tmp_path):
+        direct = degree_diameter_search(2, 6, 60, 70)
+        manifest = ChunkManifest.build(2, 6, range(60, 71), chunk_size=5)
+        store = ChunkStore(tmp_path)
+        run_sweep(manifest, store)
+        # Kill simulation: delete one published chunk and plant an orphaned
+        # temp file, as an interrupted writer would leave behind.
+        victim = manifest.chunks[1]
+        os.unlink(store.path_for(victim))
+        (tmp_path / f".tmp-{victim.chunk_id}-dead.jsonl").write_text("{}\n")
+        with pytest.raises(FileNotFoundError):
+            merge_sweep(manifest, store)
+        outcome = run_sweep(manifest, store, resume=True)
+        assert outcome["ran"] == [victim.chunk_id]
+        assert len(outcome["skipped"]) == len(manifest.chunks) - 1
+        assert merge_sweep(manifest, store).rows == direct.rows
+
+    def test_merge_names_missing_chunks(self, tmp_path):
+        manifest = d6_manifest()
+        with pytest.raises(FileNotFoundError, match="chunks incomplete"):
+            merge_sweep(manifest, ChunkStore(tmp_path))
+
+    def test_merge_flags_manifest_mismatch_over_full_store(self, tmp_path):
+        # A completed sweep whose chunk ids no longer match (code-version
+        # bump or changed parameters) must not be reported as "run the
+        # remaining shards" — the store is full, just under different names.
+        store = ChunkStore(tmp_path)
+        old = d6_manifest(code_version="test-v1")
+        run_sweep(old, store)
+        bumped = d6_manifest(code_version="test-v2")
+        with pytest.raises(FileNotFoundError, match="different manifest"):
+            merge_sweep(bumped, store)
+
+    def test_worker_pool_sweep_matches_serial(self, tmp_path):
+        manifest = ChunkManifest.build(2, 6, range(60, 67), chunk_size=4)
+        serial_store = ChunkStore(tmp_path / "serial")
+        pooled_store = ChunkStore(tmp_path / "pooled")
+        run_sweep(manifest, serial_store)
+        run_sweep(manifest, pooled_store, workers=2)
+        assert (
+            merge_sweep(manifest, serial_store).rows
+            == merge_sweep(manifest, pooled_store).rows
+        )
+
+    def test_at_most_filter_applied_at_merge(self, tmp_path):
+        manifest = ChunkManifest.build(
+            2, 5, [16], require_exact=False, chunk_size=8
+        )
+        store = ChunkStore(tmp_path)
+        run_sweep(manifest, store)
+        relaxed = merge_sweep(manifest, store)
+        # B(2, 4) has diameter 4 <= 5: present under the at-most filter.
+        assert relaxed.splits_for(16) != []
+
+    def test_chunk_records_hold_raw_verdicts(self, tmp_path):
+        manifest = ChunkManifest.build(2, 6, [64], chunk_size=8)
+        store = ChunkStore(tmp_path)
+        run_sweep(manifest, store)
+        records = store.read(manifest.chunks[0])
+        by_split = {(r["p"], r["q"]): r["verdict"] for r in records}
+        assert by_split[(2, 64)] == 6  # B(2, 6) layout, exact diameter
+        assert by_split[(1, 128)] == -1  # p=1 split is never strongly connected
+
+
+class TestSearchCacheIntegration:
+    def test_cached_search_matches_uncached(self, tmp_path):
+        uncached = degree_diameter_search(2, 6, 62, 66)
+        cache = SplitVerdictCache(tmp_path, 2, 6)
+        cold = degree_diameter_search(2, 6, 62, 66, cache=cache)
+        assert cold.rows == uncached.rows
+        assert cache.hits == 0 and cache.misses > 0
+        warm_cache = SplitVerdictCache(tmp_path, 2, 6)
+        warm = degree_diameter_search(2, 6, 62, 66, cache=warm_cache)
+        assert warm.rows == uncached.rows
+        assert warm_cache.misses == 0
+        assert warm_cache.hits == cache.misses
+
+    def test_cache_accepts_directory_path(self, tmp_path):
+        first = degree_diameter_search(2, 6, 62, 66, cache=tmp_path)
+        assert list(tmp_path.glob("verdicts-d2-D6-*.jsonl"))
+        second = degree_diameter_search(2, 6, 62, 66, cache=str(tmp_path))
+        assert first.rows == second.rows
+
+    def test_overlapping_blocks_share_cache_entries(self, tmp_path):
+        cache = SplitVerdictCache(tmp_path, 2, 6)
+        degree_diameter_search(2, 6, 60, 66, cache=cache)
+        follow_up = SplitVerdictCache(tmp_path, 2, 6)
+        degree_diameter_search(2, 6, 62, 70, cache=follow_up)
+        # n=62..66 overlap: those verdicts come from the first sweep's cache.
+        assert follow_up.hits > 0
+
+    def test_cache_file_format_is_documented_jsonl(self, tmp_path):
+        cache = SplitVerdictCache(tmp_path, 2, 6, version="test-v1")
+        cache.put(2, 64, 6)
+        (line,) = cache.path.read_text().splitlines()
+        assert json.loads(line) == {"p": 2, "q": 64, "verdict": 6}
+
+
+@pytest.mark.sweep
+class TestEndToEndTable1Block:
+    """Slow end-to-end exercise over a real Table 1 block (opt-in)."""
+
+    def test_sharded_resumed_cached_diameter_8_block(self, tmp_path):
+        direct = table1_rows(8)
+        manifest = ChunkManifest.build(
+            2, 8, range(253, 385), chunk_size=64
+        )
+        store = ChunkStore(tmp_path / "chunks")
+        cache_dir = tmp_path / "cache"
+        run_sweep(manifest, store, shard=(0, 2), cache=cache_dir)
+        run_sweep(manifest, store, shard=(1, 2), cache=cache_dir)
+        # Interrupt and resume with a warm cache: the recomputed chunk is
+        # answered from the verdict cache, not recomputed from scratch.
+        victim = manifest.chunks[0]
+        os.unlink(store.path_for(victim))
+        cache = SplitVerdictCache(cache_dir, 2, 8)
+        outcome = run_sweep(manifest, store, resume=True, cache=cache)
+        assert outcome["ran"] == [victim.chunk_id]
+        assert cache.misses == 0  # every verdict of the redone chunk was cached
+        merged = merge_sweep(manifest, store)
+        assert merged.rows == direct.rows
