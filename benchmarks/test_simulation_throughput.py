@@ -157,3 +157,155 @@ def test_run_many_amortises_many_seeds():
         },
     )
     assert stacked_seconds < separate_seconds
+
+
+def test_router_comparison_100k_n1024():
+    """Closed-form vs dense-table routing at n = 1024: no regression.
+
+    Identical NetworkStats (the routers are bit-identical on routes) and a
+    wall-clock ratio within noise of 1 — the closed form pays O(D) integer
+    arithmetic per hop where the table pays one gather, but drops the
+    routing state from O(n^2) to O(n) bytes.
+    """
+    graph = h_digraph(32, 64, 2)
+    traffic = uniform_random_pairs(graph.num_vertices, 100_000, rng=0)
+    link = LinkModel(latency=1.0, transmission_time=1.0)
+
+    from repro.routing.routers import make_router
+
+    results = {}
+    for kind in ("dense", "closed-form"):
+        router = make_router(graph, kind)
+        simulator = BatchedNetworkSimulator(graph, link=link, router=router)
+        start = time.perf_counter()
+        stats, _ = simulator.run(traffic)
+        seconds = time.perf_counter() - start
+        results[kind] = (stats, seconds, router.state_bytes())
+
+    dense_stats, dense_s, dense_bytes = results["dense"]
+    closed_stats, closed_s, closed_bytes = results["closed-form"]
+    assert closed_stats == dense_stats  # bit-identical routes => bit-identical stats
+    assert closed_stats.delivered == 100_000
+    assert closed_bytes * 100 < dense_bytes  # O(n) vs O(n^2) state
+    ratio = closed_s / dense_s
+    _record(
+        "routers_100k_H(32,64,2)",
+        {
+            "graph": graph.name,
+            "nodes": graph.num_vertices,
+            "messages": 100_000,
+            "dense_s": round(dense_s, 4),
+            "closed_form_s": round(closed_s, 4),
+            "closed_over_dense": round(ratio, 3),
+            "dense_state_bytes": dense_bytes,
+            "closed_form_state_bytes": closed_bytes,
+        },
+    )
+    assert ratio <= 1.75, f"closed-form routing {ratio:.2f}x slower than the table"
+
+
+def test_table_free_large_n_100k():
+    """100k uniform messages on H(64, 128, 2) without a dense (n, n) table.
+
+    The headline unlock of the router abstraction: n = 4096 would need a
+    ~270 MB table pair; the auto policy routes it closed-form with O(n)
+    relabelling state, and the run completes at the same per-message speed
+    as the n = 1024 benchmark.
+    """
+    from repro.routing.routers import AUTO_DENSE_MAX_N, make_router
+
+    graph = h_digraph(64, 128, 2)
+    assert graph.num_vertices > AUTO_DENSE_MAX_N
+    router = make_router(graph, "auto")
+    assert router.kind == "closed-form"  # no dense table anywhere
+    state_bytes = router.state_bytes()
+    assert state_bytes < 1 << 20  # O(n): two int64 relabelling arrays
+
+    traffic = uniform_random_pairs(graph.num_vertices, 100_000, rng=0)
+    link = LinkModel(latency=1.0, transmission_time=1.0)
+    simulator = BatchedNetworkSimulator(graph, link=link, router=router)
+    start = time.perf_counter()
+    stats, _ = simulator.run(traffic)
+    seconds = time.perf_counter() - start
+    assert stats.delivered == 100_000
+    _record(
+        "uniform_100k_H(64,128,2)",
+        {
+            "graph": graph.name,
+            "nodes": graph.num_vertices,
+            "links": graph.num_arcs,
+            "messages": 100_000,
+            "router": router.kind,
+            "routing_state_bytes": state_bytes,
+            "dense_table_would_be_bytes": 2 * 8 * graph.num_vertices**2,
+            "batched_s": round(seconds, 4),
+            "makespan": stats.makespan,
+            "throughput": stats.throughput(),
+            "mean_latency": stats.mean_latency,
+            "mean_hops": stats.mean_hops,
+        },
+    )
+
+
+def test_million_message_sharded_study_n_1e5():
+    """10 seeds x 100k messages on H(128, 2048, 2) (n = 131072).
+
+    The study the dense table made impossible: a million messages over a
+    10^5-node topology, replicas sharded over a process pool as resumable
+    chunks.  Routing state is ~2 MB (the dense table would be ~275 GB).
+    Spot-checks one replica against the in-process engine — the merge
+    contract (byte-identical stats) at full scale.
+    """
+    import tempfile
+
+    from repro.routing.routers import make_router
+    from repro.simulation.sharding import run_many_sharded
+
+    graph = h_digraph(128, 2048, 2)
+    assert graph.num_vertices == 131_072
+    router = make_router(graph, "auto")
+    assert router.kind == "closed-form"
+
+    link = LinkModel(latency=1.0, transmission_time=1.0)
+    seeds = range(10)
+    traffics = [
+        uniform_random_pairs(graph.num_vertices, 100_000, rng=seed)
+        for seed in seeds
+    ]
+    with tempfile.TemporaryDirectory() as store:
+        start = time.perf_counter()
+        merged = run_many_sharded(
+            graph,
+            traffics,
+            link=link,
+            router="closed-form",
+            store=store,
+            chunk_size=2,
+            workers=4,
+        )
+        seconds = time.perf_counter() - start
+    assert len(merged) == 10
+    assert all(stats.delivered == 100_000 for stats in merged)
+
+    # merge contract at scale: one replica recomputed in-process matches
+    solo_stats, _ = BatchedNetworkSimulator(
+        graph, link=link, router="closed-form"
+    ).run(traffics[3])
+    assert merged[3] == solo_stats
+
+    _record(
+        "sharded_1M_H(128,2048,2)",
+        {
+            "graph": graph.name,
+            "nodes": graph.num_vertices,
+            "links": graph.num_arcs,
+            "replicas": 10,
+            "messages_total": 1_000_000,
+            "workers": 4,
+            "router": "closed-form",
+            "routing_state_bytes": router.state_bytes(),
+            "dense_table_would_be_bytes": 2 * 8 * graph.num_vertices**2,
+            "wall_time_s": round(seconds, 4),
+            "mean_hops": merged[0].mean_hops,
+        },
+    )

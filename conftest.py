@@ -14,6 +14,11 @@ the benchmark harness agree on their meaning:
   real Table 1 block).  Opt-in exactly like ``sim``, via ``--run-sweep`` or
   ``-m sweep``; the fast sweep unit tests (manifest determinism, cache
   semantics, small shard-union parity) run unconditionally.
+* ``benchcheck`` — compares the working-tree ``BENCH_*.json`` files against
+  the committed versions and fails on a >2x wall-time regression of any
+  existing key (``repro.analysis.bench_check``).  Opt-in via
+  ``--run-bench-check`` or ``-m benchcheck``; meant to run right after a
+  benchmark session rewrote the BENCH files.
 """
 
 import pytest
@@ -22,10 +27,16 @@ MARKERS = [
     "table1: Table 1 reproduction benchmarks (deselect with -m 'not table1')",
     "sim: slow simulator workload sweeps (opt-in: pass --run-sim or -m sim)",
     "sweep: slow end-to-end sharded-sweep runs (opt-in: pass --run-sweep or -m sweep)",
+    "benchcheck: BENCH_*.json wall-time regression gate "
+    "(opt-in: pass --run-bench-check or -m benchcheck)",
 ]
 
 #: marker name -> the command-line flag that opts it in.
-_OPT_IN = {"sim": "--run-sim", "sweep": "--run-sweep"}
+_OPT_IN = {
+    "sim": "--run-sim",
+    "sweep": "--run-sweep",
+    "benchcheck": "--run-bench-check",
+}
 
 
 def pytest_addoption(parser):
@@ -40,6 +51,12 @@ def pytest_addoption(parser):
         action="store_true",
         default=False,
         help="run the slow 'sweep'-marked end-to-end sharded-sweep tests",
+    )
+    parser.addoption(
+        "--run-bench-check",
+        action="store_true",
+        default=False,
+        help="run the 'benchcheck'-marked BENCH_*.json regression gate",
     )
 
 

@@ -1,0 +1,153 @@
+"""Guard the ``BENCH_*.json`` performance trajectory against regressions.
+
+The BENCH files at the repository root are merge-don't-clobber JSON maps: a
+benchmark run *updates* entries, it never rewrites history.  That makes them
+a cheap regression tripwire: compare the freshly written file against the
+committed version and fail when any wall-time key an earlier PR recorded got
+slower by more than :data:`REGRESSION_FACTOR`.
+
+Wall-time keys are, by convention, the numeric leaves whose name ends in
+``_s`` (``wall_time_s``, ``batched_s``, ``cold_s``, …).  Keys present only
+in one side are ignored — new benchmarks appear and old ones are renamed;
+the check is about *existing* keys getting slower, nothing else.  Speedups
+and non-timing metrics never fail.
+
+Usage:
+
+* ``python -m repro.analysis.bench_check BENCH_sim.json BENCH_table1.json``
+  — compares each file's working-tree content against ``git show HEAD:...``
+  (exit 1 on regression, 0 otherwise, including when git has no committed
+  version to compare against);
+* ``pytest benchmarks/test_bench_gate.py --run-bench-check`` — the same
+  comparison as an opt-in pytest marker, meant to run right after a
+  benchmark session rewrote the BENCH files.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+__all__ = [
+    "REGRESSION_FACTOR",
+    "iter_wall_time_keys",
+    "compare_bench",
+    "committed_bench",
+    "main",
+]
+
+#: A wall-time key fails when ``fresh > REGRESSION_FACTOR * committed``.
+REGRESSION_FACTOR = 2.0
+
+#: Timings below this (seconds) are never flagged: they sit inside scheduler
+#: noise, and a 2x blip on a 5 ms benchmark is not a regression signal.
+MIN_SIGNIFICANT_SECONDS = 0.05
+
+
+def iter_wall_time_keys(entry, prefix: tuple[str, ...] = ()):
+    """Yield ``(key_path, seconds)`` for every numeric ``*_s`` leaf."""
+    if isinstance(entry, dict):
+        for key, value in entry.items():
+            yield from iter_wall_time_keys(value, prefix + (str(key),))
+    elif isinstance(entry, list):
+        for index, value in enumerate(entry):
+            yield from iter_wall_time_keys(value, prefix + (str(index),))
+    elif isinstance(entry, (int, float)) and not isinstance(entry, bool):
+        if prefix and prefix[-1].endswith("_s"):
+            yield prefix, float(entry)
+
+
+def compare_bench(
+    committed: dict, fresh: dict, factor: float = REGRESSION_FACTOR
+) -> list[str]:
+    """Regression messages for every shared wall-time key that got slower.
+
+    Returns an empty list when nothing regressed.  Keys absent from either
+    side are skipped; committed timings below
+    :data:`MIN_SIGNIFICANT_SECONDS` are skipped too (noise floor).
+    """
+    fresh_times = dict(iter_wall_time_keys(fresh))
+    messages = []
+    for path, old in iter_wall_time_keys(committed):
+        if old < MIN_SIGNIFICANT_SECONDS:
+            continue
+        new = fresh_times.get(path)
+        if new is None:
+            continue
+        if new > factor * old:
+            joined = ".".join(path)
+            messages.append(
+                f"{joined}: {new:.4f}s vs committed {old:.4f}s "
+                f"({new / old:.2f}x, limit {factor:.1f}x)"
+            )
+    return sorted(messages)
+
+
+def committed_bench(path: str | Path, rev: str = "HEAD") -> dict | None:
+    """The committed version of a BENCH file, or None when unavailable.
+
+    Uses ``git show <rev>:<relative path>``; returns None outside a git
+    checkout, for untracked files, or on malformed JSON — all of which mean
+    "nothing to compare against", not "regression".
+    """
+    path = Path(path).resolve()
+    try:
+        root = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=path.parent,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        relative = path.relative_to(root)
+        shown = subprocess.run(
+            ["git", "show", f"{rev}:{relative.as_posix()}"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        return json.loads(shown)
+    except (subprocess.CalledProcessError, OSError, ValueError):
+        return None
+
+
+def check_file(path: str | Path, factor: float = REGRESSION_FACTOR) -> list[str]:
+    """Compare one BENCH file on disk against its committed version."""
+    path = Path(path)
+    committed = committed_bench(path)
+    if committed is None or not path.exists():
+        return []
+    try:
+        fresh = json.loads(path.read_text())
+    except ValueError:
+        return [f"{path.name}: working-tree file is not valid JSON"]
+    return [f"{path.name}: {m}" for m in compare_bench(committed, fresh, factor)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; exit 1 when any file shows a regression."""
+    paths = argv if argv is not None else sys.argv[1:]
+    if not paths:
+        paths = [
+            str(p) for p in sorted(Path.cwd().glob("BENCH_*.json"))
+        ]
+    if not paths:
+        print("no BENCH_*.json files to check")
+        return 0
+    regressions = []
+    for path in paths:
+        regressions.extend(check_file(path))
+    if regressions:
+        print(f"{len(regressions)} wall-time regression(s) > {REGRESSION_FACTOR}x:")
+        for message in regressions:
+            print(f"  {message}")
+        return 1
+    print(f"bench-check: no wall-time regression > {REGRESSION_FACTOR}x")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -28,6 +28,16 @@ Arbitrary digraphs (non-regular, parallel arcs, disconnected) are supported
 through :func:`padded_successor_matrix`: adjacency lists are padded with the
 vertex itself, which is a no-op under the union step because ``R[u]`` always
 contains ``R[u]``.
+
+For very large ``n`` even the bit-packed ``(n, ceil(n/64))`` state is more
+than a *sampled* screen needs.  :func:`subset_distance_rows` therefore runs
+the **transposed** sweep for ``k`` selected sources: the state is one bit per
+``(vertex, source)`` pair — ``(n, ceil(k/64))`` words — and one step gathers
+over each vertex's *predecessors* (``v`` is reached by ``s`` within ``L+1``
+levels iff some in-neighbour of ``v`` is reached within ``L``).  The same
+engine backs ``batched_eccentricities(..., sources=...)`` (sampled
+eccentricity screens) and the per-source rows of the simulator's
+:class:`repro.routing.routers.LruRowRouter`.
 """
 
 from __future__ import annotations
@@ -40,7 +50,9 @@ from repro.graphs.digraph import BaseDigraph, RegularDigraph
 
 __all__ = [
     "padded_successor_matrix",
+    "padded_predecessor_matrix",
     "batched_eccentricities",
+    "subset_distance_rows",
     "pairwise_distance_sum",
     "bit_distance_matrix",
 ]
@@ -69,6 +81,27 @@ def padded_successor_matrix(graph: BaseDigraph) -> np.ndarray:
     matrix = np.repeat(np.arange(n, dtype=np.int64)[:, None], d_max, axis=1)
     for u, successors in enumerate(lists):
         matrix[u, : len(successors)] = successors
+    return matrix
+
+
+def padded_predecessor_matrix(graph: BaseDigraph) -> np.ndarray:
+    """An ``(n, in_d_max)`` predecessor matrix, padded like its successor twin.
+
+    Row ``v`` lists the tails of all arcs into ``v`` (with multiplicity),
+    padded up to the maximum in-degree with ``v`` itself — inert under the
+    bitwise-union step of the transposed sweep, exactly as self-padding is for
+    :func:`padded_successor_matrix`.
+    """
+    n = graph.num_vertices
+    lists: list[list[int]] = [[] for _ in range(n)]
+    for u, v in graph.arcs():
+        lists[v].append(u)
+    d_max = max((len(tails) for tails in lists), default=0)
+    if n == 0 or d_max == 0:
+        return np.zeros((n, 0), dtype=np.int64)
+    matrix = np.repeat(np.arange(n, dtype=np.int64)[:, None], d_max, axis=1)
+    for v, tails in enumerate(lists):
+        matrix[v, : len(tails)] = tails
     return matrix
 
 
@@ -144,15 +177,162 @@ def _unpack_rows(bits: np.ndarray, n: int) -> np.ndarray:
     return unpacked[:, :n].astype(bool, copy=False)
 
 
+class _SubsetSweep:
+    """Transposed level-synchronous sweep for ``k`` selected sources.
+
+    Bit ``b`` of word row ``v`` means "``sources[b]`` reaches ``v`` within the
+    current number of levels"; the state is ``(n, ceil(k/64))`` words and one
+    step gathers over each vertex's *predecessors* (``v`` is reached within
+    ``L+1`` iff some in-neighbour is reached within ``L``).  Duplicate
+    sources are harmless — every bit column evolves independently.
+    """
+
+    def __init__(self, predecessors: np.ndarray, sources: np.ndarray):
+        predecessors = np.ascontiguousarray(predecessors, dtype=np.int64)
+        self.predecessors = predecessors
+        self.n = n = int(predecessors.shape[0])
+        self.sources = sources = np.ascontiguousarray(sources, dtype=np.int64)
+        self.k = k = int(sources.shape[0])
+        self.words = words = (k + _WORD_BITS - 1) // _WORD_BITS if k else 0
+        state = np.zeros((n, max(words, 1)), dtype=np.uint64)
+        bits = np.arange(k)
+        np.bitwise_or.at(
+            state,
+            (sources, bits // _WORD_BITS),
+            np.uint64(1) << (bits % _WORD_BITS).astype(np.uint64),
+        )
+        self.state = state
+
+    def step(self) -> bool:
+        """Advance one level; returns False once nothing new was reached."""
+        predecessors = self.predecessors
+        state = self.state
+        if predecessors.shape[1] == 0:
+            return False
+        merged = state[predecessors[:, 0]].copy()
+        for j in range(1, predecessors.shape[1]):
+            np.bitwise_or(merged, state[predecessors[:, j]], out=merged)
+        np.bitwise_or(merged, state, out=merged)
+        if np.array_equal(merged, state):
+            return False
+        self.state = merged
+        return True
+
+    def complete_columns(self) -> np.ndarray:
+        """Boolean mask over sources whose reach covers every vertex."""
+        if self.k == 0:
+            return np.zeros(0, dtype=bool)
+        covered = np.bitwise_and.reduce(self.state, axis=0)
+        return _unpack_rows(covered[None, :], self.k)[0]
+
+
+def subset_distance_rows(
+    graph: BaseDigraph | np.ndarray,
+    sources,
+    *,
+    predecessors: np.ndarray | None = None,
+) -> np.ndarray:
+    """Distances from each of ``sources`` to every vertex, ``-1`` unreachable.
+
+    Returns a ``(k, n)`` int64 array with ``rows[b, v] = d(sources[b], v)``.
+    The cost scales with ``k``, not ``n``: the transposed sweep keeps one bit
+    per ``(vertex, source)`` pair, so screening 64 sources on a 10^5-vertex
+    digraph costs one machine word per vertex per level.  Pass a precomputed
+    ``predecessors`` matrix (:func:`padded_predecessor_matrix`) when calling
+    repeatedly on one topology (the simulator's LRU row router does).
+    """
+    if predecessors is None:
+        if isinstance(graph, np.ndarray):
+            raise ValueError(
+                "subset_distance_rows needs predecessors= when given a raw "
+                "successor matrix (it cannot tell successor and predecessor "
+                "matrices apart)"
+            )
+        predecessors = padded_predecessor_matrix(graph)
+    n = int(predecessors.shape[0])
+    sources = np.asarray(sources, dtype=np.int64)
+    if sources.ndim != 1:
+        raise ValueError("sources must be a 1-D array of vertex indices")
+    if sources.size and (sources.min() < 0 or sources.max() >= n):
+        raise ValueError("sources out of range")
+    k = int(sources.shape[0])
+    rows = np.full((k, n), -1, dtype=np.int64)
+    if k == 0 or n == 0:
+        return rows
+    sweep = _SubsetSweep(predecessors, sources)
+    rows[np.arange(k), sources] = 0
+    level = 0
+    while True:
+        previous = sweep.state
+        level += 1
+        if not sweep.step():
+            return rows
+        newly = sweep.state ^ previous
+        changed = np.flatnonzero(newly.any(axis=1))
+        if changed.size:
+            mask = _unpack_rows(newly[changed], k)
+            vertex_index, source_index = np.nonzero(mask)
+            rows[source_index, changed[vertex_index]] = level
+
+
+def _subset_eccentricities(
+    graph: BaseDigraph | np.ndarray,
+    sources: np.ndarray,
+    upper_bound: int | None,
+) -> tuple[np.ndarray, bool]:
+    """``batched_eccentricities`` restricted to a subset of sources.
+
+    Same contract as the full sweep: ``ecc[b]`` is the out-eccentricity of
+    ``sources[b]`` (``-1`` when it cannot reach the whole digraph), and
+    ``aborted`` fires exactly when the ``upper_bound`` cut stopped the sweep
+    before it finished or converged.
+    """
+    if isinstance(graph, np.ndarray):
+        raise ValueError(
+            "sources= needs a digraph (the transposed sweep gathers over "
+            "predecessors, which a successor matrix alone cannot provide "
+            "cheaply); pass the BaseDigraph instead"
+        )
+    predecessors = padded_predecessor_matrix(graph)
+    n = graph.num_vertices
+    sources = np.asarray(sources, dtype=np.int64)
+    if sources.ndim != 1:
+        raise ValueError("sources must be a 1-D array of vertex indices")
+    if sources.size and (sources.min() < 0 or sources.max() >= n):
+        raise ValueError("sources out of range")
+    k = int(sources.shape[0])
+    ecc = np.full(k, -1, dtype=np.int64)
+    if k == 0 or n == 0:
+        return ecc, False
+    sweep = _SubsetSweep(predecessors, sources)
+    done = sweep.complete_columns()
+    ecc[done] = 0
+    level = 0
+    while not done.all():
+        if upper_bound is not None and level >= upper_bound:
+            return ecc, True
+        level += 1
+        if not sweep.step():
+            break  # converged: the remaining sources can never complete
+        newly_done = ~done & sweep.complete_columns()
+        ecc[newly_done] = level
+        done |= newly_done
+    return ecc, False
+
+
 def batched_eccentricities(
-    graph: BaseDigraph | np.ndarray, upper_bound: int | None = None
+    graph: BaseDigraph | np.ndarray,
+    upper_bound: int | None = None,
+    *,
+    sources=None,
 ) -> tuple[np.ndarray, bool]:
     """Out-eccentricity of every vertex, all sources swept at once.
 
     Parameters
     ----------
     graph:
-        A digraph, or directly an ``(n, d)`` successor matrix.
+        A digraph, or directly an ``(n, d)`` successor matrix (full sweep
+        only — the ``sources=`` path needs the digraph itself).
     upper_bound:
         When given, the sweep stops as soon as some vertex is still missing
         part of the digraph after ``upper_bound`` levels, i.e. as soon as it
@@ -161,6 +341,12 @@ def batched_eccentricities(
         levels is answered definitively instead (no abort) — in particular a
         disconnected digraph that converges early returns ``aborted=False``
         with ``-1`` entries.
+    sources:
+        Optional 1-D array of vertex indices.  When given, only those
+        sources are swept (``ecc`` is aligned with ``sources``, not with the
+        vertex set) via the transposed ``(n, ceil(k/64))``-word engine, so a
+        sampled eccentricity screen on a very large digraph costs ``O(k/64)``
+        machine words per vertex per level instead of ``O(n/64)``.
 
     Returns
     -------
@@ -173,6 +359,8 @@ def batched_eccentricities(
         :func:`repro.otis.search.h_diameter` does) before trusting
         ``ecc.max()``.
     """
+    if sources is not None:
+        return _subset_eccentricities(graph, sources, upper_bound)
     successors = (
         graph if isinstance(graph, np.ndarray) else padded_successor_matrix(graph)
     )

@@ -165,6 +165,17 @@ class BaseDigraph:
         """Copy into an immutable :class:`RegularDigraph` (must be out-regular)."""
         return RegularDigraph(self.successor_matrix(), name=self.name)
 
+    # ------------------------------------------------------------ pickling
+    def __getstate__(self):
+        # The routing-table cache token (repro.routing.paths) is only
+        # meaningful inside the process that issued it: shipped to another
+        # process (e.g. a sharded-simulation worker) it could collide with a
+        # token issued there and alias a different topology's table.  Strip
+        # it, so unpickled graphs start with a fresh token.
+        state = self.__dict__.copy()
+        state.pop("_routing_table_cache", None)
+        return state
+
     # ------------------------------------------------------------- equality
     def same_arcs(self, other: "BaseDigraph") -> bool:
         """True when both digraphs have identical vertex count and arc multisets.

@@ -65,9 +65,11 @@ from pathlib import Path
 from repro.version import __version__
 
 __all__ = [
+    "fingerprint_paths",
     "code_version",
     "WorkItem",
     "SweepChunk",
+    "make_chunks",
     "ChunkManifest",
     "ChunkStore",
     "SplitVerdictCache",
@@ -93,36 +95,72 @@ _VERDICT_SOURCES = (
 )
 
 
-@lru_cache(maxsize=1)
-def code_version() -> str:
-    """Stable fingerprint of the verdict-defining code.
+@lru_cache(maxsize=None)
+def fingerprint_paths(relative_paths: tuple[str, ...]) -> str:
+    """Stable 12-hex-digit fingerprint of package sources.
 
-    A 12-hex-digit SHA-256 prefix over the package version string and the
-    bytes of the sources listed in ``_VERDICT_SOURCES``.  Part of every chunk
-    id and every cache file name: two processes agree on a chunk or cache
-    entry only when they run the *same* verdict code.
+    A SHA-256 prefix over the package version string and the bytes of the
+    given ``repro``-relative source files.  This is the generic form of
+    :func:`code_version`: any subsystem that persists results keyed by "the
+    code that computed them" (the degree–diameter sweep, the sharded
+    simulator of :mod:`repro.simulation.sharding`) derives its version from
+    the sources that define its semantics, so editing one of them renames
+    every chunk and no resumed run can mix results from different code.
     """
     digest = hashlib.sha256()
     digest.update(__version__.encode())
     package_root = Path(__file__).resolve().parent.parent
-    for relative in _VERDICT_SOURCES:
+    for relative in relative_paths:
         digest.update(relative.encode())
         digest.update((package_root / relative).read_bytes())
     return digest.hexdigest()[:12]
 
 
+def code_version() -> str:
+    """Fingerprint of the verdict-defining code (see :func:`fingerprint_paths`).
+
+    Part of every chunk id and every cache file name: two processes agree on
+    a chunk or cache entry only when they run the *same* verdict code.
+    """
+    return fingerprint_paths(_VERDICT_SOURCES)
+
+
 @dataclass(frozen=True)
 class SweepChunk:
-    """One named unit of sweep work.
+    """One named unit of chunked work.
 
     ``chunk_id`` is the stable name (also the result file name); ``index``
-    is the chunk's position in the manifest; ``items`` the ``(n, p, q)``
-    work items, in the canonical (``n`` then ``p`` ascending) order.
+    is the chunk's position in the manifest; ``items`` the work items — for
+    the degree–diameter sweep the ``(n, p, q)`` triples in canonical (``n``
+    then ``p`` ascending) order, for other manifests whatever
+    JSON-serialisable item type they chunk over (e.g. the sharded
+    simulator's ``(replica index, traffic digest)`` pairs).
     """
 
     chunk_id: str
     index: int
-    items: tuple[WorkItem, ...]
+    items: tuple
+
+
+def make_chunks(items, chunk_size: int, identity: list) -> tuple[SweepChunk, ...]:
+    """Cut a work list into contiguous, deterministically named chunks.
+
+    ``identity`` is the JSON-serialisable context that, together with a
+    chunk's items, *defines* its results (search parameters, code version,
+    link timings, …): the chunk id is a SHA-256 prefix over both, so every
+    host deriving the same identity and item list agrees on which file holds
+    which work — the coordination mechanism behind ``--shard i/k``.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    items = list(items)
+    chunks = []
+    for index, start in enumerate(range(0, len(items), chunk_size)):
+        chunk_items = tuple(items[start : start + chunk_size])
+        payload = json.dumps(identity + [chunk_items], separators=(",", ":"))
+        chunk_id = hashlib.sha256(payload.encode()).hexdigest()[:16]
+        chunks.append(SweepChunk(chunk_id=chunk_id, index=index, items=chunk_items))
+    return tuple(chunks)
 
 
 @dataclass(frozen=True)
@@ -177,15 +215,7 @@ class ChunkManifest:
         items: list[WorkItem] = [
             (n, p, q) for n in ns for p, q in candidate_splits(n, d)
         ]
-        chunks = []
-        for index, start in enumerate(range(0, len(items), chunk_size)):
-            chunk_items = tuple(items[start : start + chunk_size])
-            payload = json.dumps(
-                [d, diameter, require_exact, version, chunk_items],
-                separators=(",", ":"),
-            )
-            chunk_id = hashlib.sha256(payload.encode()).hexdigest()[:16]
-            chunks.append(SweepChunk(chunk_id=chunk_id, index=index, items=chunk_items))
+        chunks = make_chunks(items, chunk_size, [d, diameter, require_exact, version])
         return cls(
             d=d,
             diameter=diameter,
@@ -519,19 +549,35 @@ def run_sweep(
     }
 
 
-def merge_sweep(manifest: ChunkManifest, store: ChunkStore | str | Path):
+def merge_sweep(
+    manifest: ChunkManifest,
+    store: ChunkStore | str | Path,
+    *,
+    partial: bool = False,
+):
     """Fold a store's chunk files into a :class:`DegreeDiameterResult`.
 
     Raises ``FileNotFoundError`` naming the missing chunk ids when any chunk
     of the manifest has not been published yet — a partial merge would
     silently drop table rows, which is exactly the failure mode the named
-    manifest exists to prevent.
+    manifest exists to prevent.  ``partial=True`` opts into exactly that
+    drop *explicitly*, for progress reports over a store other shards are
+    still filling: the completed chunks are folded and the result carries
+    only the rows they cover (the CLI's ``--merge --partial`` prints the
+    coverage next to the table so a partial report can never masquerade as
+    a finished sweep).
     """
     if not isinstance(store, ChunkStore):
         store = ChunkStore(store)
     missing = [
         chunk.chunk_id for chunk in manifest.chunks if not store.is_complete(chunk)
     ]
+    if missing and partial:
+        records: list[dict] = []
+        for chunk in manifest.chunks:
+            if store.is_complete(chunk):
+                records.extend(store.read(chunk))
+        return fold_records(manifest, records)
     if missing:
         message = (
             f"{len(missing)} of {len(manifest.chunks)} chunks incomplete "

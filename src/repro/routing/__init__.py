@@ -9,6 +9,10 @@ event simulator (:mod:`repro.simulation`) routes messages with these tables.
 * :mod:`repro.routing.paths` — shortest-path routing by word overlap on the
   de Bruijn and Kautz digraphs (O(D) per route, no search), plus generic BFS
   routing and all-pairs next-hop tables for arbitrary digraphs.
+* :mod:`repro.routing.routers` — the pluggable :class:`Router` hierarchy the
+  simulators route through: dense table (small n), table-free closed-form
+  shift routing (de Bruijn/Kautz/``H(d^p', d^q', d)``), LRU of on-demand
+  per-source rows (arbitrary large digraphs) — all bit-identical on routes.
 * :mod:`repro.routing.broadcast` — BFS broadcast arborescences and
   single-port / all-port broadcast schedules.
 * :mod:`repro.routing.gossip` — all-to-all (gossip) schedules and their round
@@ -29,6 +33,17 @@ from repro.routing.paths import (
     debruijn_distance,
     debruijn_route,
     kautz_route,
+    routing_table_for,
+    shift_route_next_hop,
+    shift_route_next_hops,
+)
+from repro.routing.routers import (
+    ROUTER_KINDS,
+    ClosedFormRouter,
+    DenseTableRouter,
+    LruRowRouter,
+    Router,
+    make_router,
 )
 
 __all__ = [
@@ -37,7 +52,16 @@ __all__ = [
     "kautz_route",
     "bfs_route",
     "build_routing_table",
+    "routing_table_for",
+    "shift_route_next_hop",
+    "shift_route_next_hops",
     "RoutingTable",
+    "Router",
+    "DenseTableRouter",
+    "ClosedFormRouter",
+    "LruRowRouter",
+    "make_router",
+    "ROUTER_KINDS",
     "breadth_first_arborescence",
     "single_port_broadcast_schedule",
     "all_port_broadcast_schedule",

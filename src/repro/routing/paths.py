@@ -17,13 +17,26 @@ For arbitrary digraphs (e.g. the raw ``H(p, q, d)`` of a candidate layout)
 the bit-parallel frontier machinery of :mod:`repro.graphs.apsp` (the
 per-target reverse BFS survives as the cross-checked ``method="python"``
 reference); the simulator uses the table directly.  When many workloads run
-on one topology, :func:`routing_table_for` memoises the table on the graph
-instance so the simulators and the sweep driver share a single computation.
+on one topology, :func:`routing_table_for` memoises the table in a small
+bounded LRU (:func:`set_routing_table_cache_limit`) so the simulators and
+the sweep driver share a single computation without dense tables piling up
+across a long multi-topology sweep.
+
+:func:`shift_route_next_hops` is the *vectorised* O(D) form of the word
+routing: given whole arrays of ``(current, target)`` pairs (words encoded as
+radix-``base`` integers) it computes every next hop with ``D`` passes of
+numpy integer arithmetic and no Python loop over pairs.  It is the kernel of
+the table-free :class:`repro.routing.routers.ClosedFormRouter`, and — because
+the digit that shortens the suffix/prefix overlap is *unique* — its choices
+are bit-identical to the dense table's "lowest arc slot one step closer"
+rule (the router parity suite enforces this).
 """
 
 from __future__ import annotations
 
-from collections import deque
+import itertools
+import os
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -37,10 +50,15 @@ __all__ = [
     "debruijn_route",
     "debruijn_distance",
     "kautz_route",
+    "shift_route_next_hops",
+    "shift_route_next_hop",
     "bfs_route",
     "RoutingTable",
     "build_routing_table",
     "routing_table_for",
+    "set_routing_table_cache_limit",
+    "routing_table_cache_info",
+    "clear_routing_table_cache",
 ]
 
 
@@ -117,6 +135,64 @@ def kautz_route(
         current = current[1:] + [int(target[position])]
         path.append(tuple(current))
     return path
+
+
+# --------------------------------------------------------------------------
+# Vectorised shift routing (words as radix integers)
+# --------------------------------------------------------------------------
+def shift_route_next_hops(
+    current: np.ndarray, target: np.ndarray, base: int, D: int
+) -> np.ndarray:
+    """Next-hop word codes for whole arrays of ``(current, target)`` pairs.
+
+    Words of length ``D`` over ``Z_base`` are encoded as integers
+    ``sum x_i base**i`` (:func:`repro.words.word_to_int`).  For every pair
+    the longest suffix(``current``)/prefix(``target``) overlap ``k`` is found
+    with ``D - 1`` whole-array comparisons (a suffix of length ``j`` is
+    ``current mod base**j``; a prefix of length ``j`` is
+    ``target // base**(D-j)``), and the next hop shifts in the target's
+    letter at position ``k``:  ``(current mod base**(D-1)) * base + digit``.
+
+    The digit shifted in is the *unique* one that shortens the overlap
+    (appending one letter can grow the longest overlap by at most 1, and
+    only by appending exactly the target's next letter), so on the de Bruijn
+    digraph — and on every digraph reached through an isomorphism onto it,
+    including the Kautz digraph over ``Z_{d+1}`` — this next hop is the
+    unique out-neighbour one step closer to the target, i.e. precisely the
+    entry the dense table of :func:`build_routing_table` holds.
+
+    ``current == target`` pairs return ``current`` (matching the dense
+    table's diagonal); the simulators never ask for them.
+    """
+    current = np.asarray(current, dtype=np.int64)
+    target = np.asarray(target, dtype=np.int64)
+    if D < 1:
+        raise ValueError("word length D must be positive")
+    powers = base ** np.arange(D + 1, dtype=np.int64)
+    overlap = np.zeros(current.shape, dtype=np.int64)
+    # Ascending j with overwrite leaves the *largest* matching j in place.
+    for j in range(1, D):
+        match = (current % powers[j]) == (target // powers[D - j])
+        overlap = np.where(match, j, overlap)
+    digit = (target // powers[D - 1 - overlap]) % base
+    next_code = (current % powers[D - 1]) * base + digit
+    return np.where(current == target, current, next_code)
+
+
+def shift_route_next_hop(current: int, target: int, base: int, D: int) -> int:
+    """Scalar :func:`shift_route_next_hops` (no array round-trips).
+
+    >>> shift_route_next_hop(0b101, 0b011, 2, 3)   # 101 -> 011 via overlap 01
+    3
+    """
+    if current == target:
+        return current
+    overlap = 0
+    for j in range(1, D):
+        if current % base**j == target // base ** (D - j):
+            overlap = j
+    digit = (target // base ** (D - 1 - overlap)) % base
+    return (current % base ** (D - 1)) * base + digit
 
 
 # --------------------------------------------------------------------------
@@ -230,36 +306,106 @@ def build_routing_table(graph: BaseDigraph, method: str = "auto") -> RoutingTabl
     return RoutingTable(next_hop=next_hop, distance=distance)
 
 
+#: Bounded LRU of dense routing tables, keyed ``(graph token, method slot)``.
+#: Dense tables are the single largest allocations a multi-topology sweep
+#: makes (``O(n^2)`` each); pinning one to every graph instance for the
+#: graph's lifetime — the previous scheme — made long sweeps accumulate
+#: them without bound.  The default limit keeps the working set of the
+#: throughput drivers (a handful of live topologies) fully cached.
+_TABLE_CACHE: OrderedDict[tuple[str, str], RoutingTable] = OrderedDict()
+_TABLE_CACHE_LIMIT = 4
+_TABLE_CACHE_HITS = 0
+_TABLE_CACHE_MISSES = 0
+_table_tokens = itertools.count()
+
+
+def _fresh_token_id() -> str:
+    """A per-graph cache token unique to this process.
+
+    ``BaseDigraph.__getstate__`` strips tokens before pickling, but a
+    subclass overriding pickling could still carry one across a process
+    boundary — where a bare counter restarts at 0 and would alias another
+    graph's table.  Qualifying the token with the pid makes a foreign
+    token miss (a fresh one is then issued) instead of silently matching.
+    """
+    return f"{os.getpid()}-{next(_table_tokens)}"
+
+
+def set_routing_table_cache_limit(limit: int) -> None:
+    """Resize the shared routing-table LRU (``0`` disables caching)."""
+    global _TABLE_CACHE_LIMIT
+    if limit < 0:
+        raise ValueError("cache limit must be non-negative")
+    _TABLE_CACHE_LIMIT = int(limit)
+    while len(_TABLE_CACHE) > _TABLE_CACHE_LIMIT:
+        _TABLE_CACHE.popitem(last=False)
+
+
+def routing_table_cache_info() -> dict[str, int]:
+    """Counters and occupancy of the routing-table LRU (for tests/benches)."""
+    return {
+        "entries": len(_TABLE_CACHE),
+        "limit": _TABLE_CACHE_LIMIT,
+        "hits": _TABLE_CACHE_HITS,
+        "misses": _TABLE_CACHE_MISSES,
+    }
+
+
+def clear_routing_table_cache() -> None:
+    """Drop every cached table (and reset the hit/miss counters)."""
+    global _TABLE_CACHE_HITS, _TABLE_CACHE_MISSES
+    _TABLE_CACHE.clear()
+    _TABLE_CACHE_HITS = 0
+    _TABLE_CACHE_MISSES = 0
+
+
 def routing_table_for(graph: BaseDigraph, method: str = "auto") -> RoutingTable:
-    """Memoised :func:`build_routing_table`, keyed on the graph instance.
+    """Memoised :func:`build_routing_table` through a bounded, evictable LRU.
 
     The all-pairs table is a pure function of the topology, and the workload
     driver (:func:`repro.simulation.workloads.run_throughput_sweep`) builds
     many simulators over one graph — recomputing the ``O(n^2)`` table per
-    workload would dwarf the simulation itself.  The table is cached on the
-    graph object the first time it is requested.  Mutating a
-    :class:`~repro.graphs.digraph.Digraph` drops the cached table (its
-    mutators invalidate ``_routing_table_cache``); a cheap ``(n, m)``
-    signature additionally guards against mutation of exotic
-    :class:`~repro.graphs.digraph.BaseDigraph` subclasses that bypass those
-    mutators — a subclass that changes its arc *multiset* without changing
-    ``n`` or ``m`` must call :func:`build_routing_table` directly.
+    workload would dwarf the simulation itself.  Tables live in a shared
+    LRU bounded by :func:`set_routing_table_cache_limit` (so a sweep over
+    many topologies recycles the memory of the ones it has moved past,
+    instead of pinning a dense table to every graph it ever touched), keyed
+    by a per-graph token stored on the instance.  Mutating a
+    :class:`~repro.graphs.digraph.Digraph` drops the token (its mutators
+    invalidate ``_routing_table_cache``), so the next request computes a
+    fresh table; a cheap ``(n, m)`` signature additionally guards against
+    mutation of exotic :class:`~repro.graphs.digraph.BaseDigraph` subclasses
+    that bypass those mutators — a subclass that changes its arc *multiset*
+    without changing ``n`` or ``m`` must call :func:`build_routing_table`
+    directly.
 
     ``method="auto"`` and ``method="bitset"`` share one cache slot (they
     produce the same table); ``method="python"`` is cached separately.
     """
+    global _TABLE_CACHE_HITS, _TABLE_CACHE_MISSES
     if method not in ("auto", "bitset", "python"):
         raise ValueError(f"unknown method {method!r}")
     slot = "bitset" if method in ("auto", "bitset") else "python"
-    key = (slot, graph.num_vertices, graph.num_arcs)
-    cached = getattr(graph, "_routing_table_cache", None)
-    if cached is not None and cached[0] == key:
-        return cached[1]
+    signature = (graph.num_vertices, graph.num_arcs)
+    token = getattr(graph, "_routing_table_cache", None)
+    if token is None or token[0] != signature:
+        token = (signature, _fresh_token_id())
+        try:
+            graph._routing_table_cache = token
+        except AttributeError:  # pragma: no cover - exotic graph classes w/ slots
+            _TABLE_CACHE_MISSES += 1
+            return build_routing_table(graph, method=method)
+    key = (token[1], slot)
+    cached = _TABLE_CACHE.get(key)
+    if cached is not None:
+        _TABLE_CACHE.move_to_end(key)
+        _TABLE_CACHE_HITS += 1
+        return cached
+    _TABLE_CACHE_MISSES += 1
     table = build_routing_table(graph, method=method)
-    try:
-        graph._routing_table_cache = (key, table)
-    except AttributeError:  # pragma: no cover - exotic graph classes w/ slots
-        pass
+    if _TABLE_CACHE_LIMIT > 0:
+        _TABLE_CACHE[key] = table
+        while len(_TABLE_CACHE) > _TABLE_CACHE_LIMIT:
+            _TABLE_CACHE.popitem(last=False)
     return table
 
 

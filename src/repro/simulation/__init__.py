@@ -20,6 +20,10 @@ reproductions of printed numbers.
 * :mod:`repro.simulation.workloads` — synthetic traffic generators
   (uniform random, permutation, broadcast, all-to-all, hotspot) and the
   multi-workload throughput driver :func:`run_throughput_sweep`.
+* :mod:`repro.simulation.sharding` — process-sharded ``run_many`` over the
+  resumable chunk-store machinery of :mod:`repro.otis.sweep`: replica
+  blocks execute as named, atomically published chunks whose merge is
+  byte-identical to the in-process pass.
 * :mod:`repro.simulation.protocols` — end-to-end experiments returning
   latency / throughput statistics (every engine selectable).
 """
@@ -38,6 +42,12 @@ from repro.simulation.protocols import (
     run_gossip_traffic,
     run_point_to_point,
     run_random_traffic,
+)
+from repro.simulation.sharding import (
+    ReplicaChunkManifest,
+    merge_replica_stats,
+    run_many_sharded,
+    run_replica_shard,
 )
 from repro.simulation.workloads import (
     SWEEP_WORKLOADS,
@@ -76,4 +86,8 @@ __all__ = [
     "SweepPoint",
     "ThroughputSweep",
     "run_throughput_sweep",
+    "ReplicaChunkManifest",
+    "run_replica_shard",
+    "merge_replica_stats",
+    "run_many_sharded",
 ]

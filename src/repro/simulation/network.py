@@ -10,8 +10,12 @@ networks cited by the paper (ShuffleNet, GEMNET, stack-Kautz, refs. [13, 22,
 * a link transmits one message at a time; a message occupies a link for
   ``link.transmission_time`` and arrives ``link.latency`` later
   (store-and-forward, no cut-through);
-* routing is deterministic shortest-path, using the all-pairs next-hop table
-  of :func:`repro.routing.paths.build_routing_table`;
+* routing is deterministic shortest-path through a pluggable
+  :class:`repro.routing.routers.Router`: the dense all-pairs table for small
+  topologies, table-free O(D) shift routing on word labels for the de
+  Bruijn/Kautz/``H(d^p', d^q', d)`` families, or an LRU of on-demand
+  per-source rows for arbitrary large digraphs — all bit-identical on
+  routes, so the engine parity contract is router-independent;
 * link contention is resolved FIFO.
 
 The per-hop latency/transmission constants default to the OTIS hardware
@@ -48,8 +52,9 @@ Batched-engine contract (what is vectorised, what stays FIFO-exact):
 * Per-link FIFO order is exact: messages reserving one link are served in
   event order, never reordered by the batching.
 * :meth:`BatchedNetworkSimulator.run_many` stacks independent workloads into
-  one pooled simulation (replicated link arrays, shared routing table), which
-  is how the sweep driver runs many seeds/load levels in one pass.
+  one pooled simulation (replicated link arrays, shared router), which is
+  how the sweep driver runs many seeds/load levels in one pass; the
+  process-sharded scale-out lives in :mod:`repro.simulation.sharding`.
 """
 
 from __future__ import annotations
@@ -60,7 +65,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.graphs.digraph import BaseDigraph
-from repro.routing.paths import RoutingTable, routing_table_for
+from repro.routing.paths import RoutingTable
+from repro.routing.routers import Router, resolve_router
 from repro.simulation.events import BatchEventQueue, Simulator
 
 __all__ = [
@@ -182,8 +188,14 @@ class NetworkSimulator:
     link:
         Timing parameters applied to every link.
     routing:
-        Optional precomputed routing table (it is computed on demand
-        otherwise; reuse it when simulating many workloads on one topology).
+        Optional precomputed dense routing table (kept for continuity;
+        reuse it when simulating many workloads on one topology).
+    router:
+        A :class:`repro.routing.routers.Router` instance or kind string
+        (``"auto"``, ``"dense"``, ``"closed-form"``, ``"lru"``).  The
+        default ``"auto"`` keeps the dense table for small topologies and
+        goes table-free above :data:`repro.routing.routers.AUTO_DENSE_MAX_N`
+        vertices.  Mutually exclusive with ``routing``.
     """
 
     def __init__(
@@ -191,10 +203,15 @@ class NetworkSimulator:
         graph: BaseDigraph,
         link: LinkModel | None = None,
         routing: RoutingTable | None = None,
+        *,
+        router: Router | str | None = None,
     ):
         self.graph = graph
         self.link = link or LinkModel()
-        self.routing = routing or routing_table_for(graph)
+        self.router = resolve_router(graph, routing=routing, router=router)
+        #: The dense table when this simulator routes through one, else None
+        #: (kept for callers that share tables between engines).
+        self.routing = getattr(self.router, "table", None)
         # Every arc is its own physical link: parallel arcs (common in OTIS
         # digraphs such as H(1, 4, 2)) are distinct optical channels, so two
         # simultaneous messages between the same endpoints must not contend.
@@ -236,12 +253,14 @@ class NetworkSimulator:
                 )
             )
 
+        router = self.router
+
         def forward(message: Message, node: int) -> None:
             nonlocal max_queue, busy_time
             if node == message.destination:
                 message.arrival_time = sim.now
                 return
-            next_node = int(self.routing.next_hop[node, message.destination])
+            next_node = router.next_hop(node, message.destination)
             if next_node < 0:
                 return  # unreachable: drop (counted as undelivered)
             # Transmit over the earliest-free parallel link between the two
@@ -376,10 +395,13 @@ class BatchedNetworkSimulator:
         graph: BaseDigraph,
         link: LinkModel | None = None,
         routing: RoutingTable | None = None,
+        *,
+        router: Router | str | None = None,
     ):
         self.graph = graph
         self.link = link or LinkModel()
-        self.routing = routing or routing_table_for(graph)
+        self.router = resolve_router(graph, routing=routing, router=router)
+        self.routing = getattr(self.router, "table", None)
         self._groups = _LinkGroups(graph)
 
     # ------------------------------------------------------------------ run
@@ -415,7 +437,7 @@ class BatchedNetworkSimulator:
         """Simulate many independent workloads in one pooled pass.
 
         Each workload gets its own replica of the link-state arrays (no
-        cross-workload contention) while sharing the routing table, the group
+        cross-workload contention) while sharing the router, the group
         structure and — crucially — the per-step batching: simultaneous
         events of *all* replicas resolve in one vector operation, so running
         ``R`` seeds costs far less than ``R`` separate runs.  Per-replica
@@ -475,7 +497,7 @@ class BatchedNetworkSimulator:
         max_queue = np.zeros(R, dtype=np.int64)
         tx_count = np.zeros(R, dtype=np.int64)
         last_time = np.zeros(R)
-        next_hop = self.routing.next_hop
+        router = self.router
         processed = 0
 
         while len(queue):
@@ -507,7 +529,7 @@ class BatchedNetworkSimulator:
                     if node == target:
                         arrival[i] = t
                         continue
-                    next_node = int(next_hop[node, target])
+                    next_node = router.next_hop(node, target)
                     if next_node < 0:
                         continue  # unreachable: drop
                     local_links = groups.links_by_key[node * n + next_node]
@@ -569,7 +591,7 @@ class BatchedNetworkSimulator:
 
             forwarding = ~at_dest
             tails = nodes[forwarding]
-            nxt = next_hop[tails, dests[forwarding]]
+            nxt = router.next_hops(tails, dests[forwarding])
             reachable = nxt >= 0  # unreachable: drop (counted as undelivered)
             if reachable.all():  # strongly connected topologies: no drops
                 movers = idx[forwarding]

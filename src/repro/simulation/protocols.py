@@ -10,7 +10,9 @@ paper-derived quantities in EXPERIMENTS.md.
 Every simulator-backed experiment takes ``engine="event"`` (the reference
 loop, default for continuity with the seed benchmarks) or
 ``engine="batched"`` (the vectorised engine — bit-identical results, much
-faster on heavy workloads).
+faster on heavy workloads), and a ``router=`` kind
+(:data:`repro.routing.routers.ROUTER_KINDS`) for topologies too large for
+the dense next-hop table.
 """
 
 from __future__ import annotations
@@ -34,14 +36,19 @@ __all__ = [
 ]
 
 
-def _simulator(graph: BaseDigraph, link: LinkModel | None, engine: str):
+def _simulator(
+    graph: BaseDigraph,
+    link: LinkModel | None,
+    engine: str,
+    router: str | None = None,
+):
     try:
         simulator_cls = SIMULATOR_ENGINES[engine]
     except KeyError:
         raise ValueError(
             f"unknown engine {engine!r} (expected one of {sorted(SIMULATOR_ENGINES)})"
         ) from None
-    return simulator_cls(graph, link=link)
+    return simulator_cls(graph, link=link, router=router)
 
 
 def run_point_to_point(
@@ -51,9 +58,10 @@ def run_point_to_point(
     link: LinkModel | None = None,
     *,
     engine: str = "event",
+    router: str | None = None,
 ) -> dict[str, float]:
     """Deliver a single message and report its latency and hop count."""
-    simulator = _simulator(graph, link, engine)
+    simulator = _simulator(graph, link, engine, router)
     stats, messages = simulator.run([(source, destination, 0.0)])
     message = messages[0]
     return {
@@ -72,12 +80,13 @@ def run_random_traffic(
     rate: float | None = None,
     seed: int = 0,
     engine: str = "event",
+    router: str | None = None,
 ) -> NetworkStats:
     """Uniform random traffic experiment; returns the aggregate statistics."""
     traffic = uniform_random_pairs(
         graph.num_vertices, num_messages, rng=seed, rate=rate
     )
-    simulator = _simulator(graph, link, engine)
+    simulator = _simulator(graph, link, engine, router)
     stats, _ = simulator.run(traffic)
     return stats
 
@@ -88,6 +97,7 @@ def run_broadcast(
     *,
     link: LinkModel | None = None,
     engine: str = "event",
+    router: str | None = None,
 ) -> dict[str, float]:
     """Compare three ways of broadcasting from ``root``.
 
@@ -98,7 +108,7 @@ def run_broadcast(
     """
     all_port = all_port_broadcast_schedule(graph, root)
     single_port = single_port_broadcast_schedule(graph, root)
-    simulator = _simulator(graph, link, engine)
+    simulator = _simulator(graph, link, engine, router)
     stats, _ = simulator.run(broadcast_pairs(graph.num_vertices, root))
     return {
         "all_port_rounds": float(all_port.num_rounds),

@@ -1,0 +1,382 @@
+"""Process-sharded ``run_many``: million-message studies over chunk stores.
+
+:meth:`repro.simulation.network.BatchedNetworkSimulator.run_many` stacks many
+replicas into one pooled pass, but one process and one address space.  This
+module scales the same contract out, reusing the deterministic-partitioning
+machinery the degree–diameter sweep built in :mod:`repro.otis.sweep` (the
+Bobpp-style scheme of PAPERS.md):
+
+* :class:`ReplicaChunkManifest` — a pure function of the simulation inputs
+  that cuts the replica list into *named* chunks.  A chunk id hashes the
+  topology fingerprint, the link timings, the router kind, the per-replica
+  traffic digests and :func:`sim_code_version` (a fingerprint of the
+  result-defining sources), so every host — and every re-run — agrees on
+  which file holds which replicas, and no resumed study can mix results
+  computed by different simulator code.
+* chunks execute through :class:`repro.otis.sweep.ChunkStore`: each chunk's
+  per-replica :class:`~repro.simulation.network.NetworkStats` are published
+  as one atomic JSONL file, so an interrupted study resumes by skipping the
+  chunk files already on disk and recomputing only the chunk that was in
+  flight.
+* :func:`merge_replica_stats` folds the chunk files back into the per-replica
+  stats list **byte-identical** to the in-process ``run_many`` (per-replica
+  results are independent of how replicas are stacked — the engine contract —
+  and the JSON codec round-trips every float exactly).
+
+:func:`run_many_sharded` is the single-host convenience wrapper (build, run
+— optionally over a :class:`~concurrent.futures.ProcessPoolExecutor` —
+merge); the multi-host front-end is ``python -m repro sim --out-dir ...
+--shard i/k --resume`` / ``--merge``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs.digraph import BaseDigraph
+from repro.otis.sweep import ChunkStore, SweepChunk, fingerprint_paths, make_chunks
+from repro.simulation.network import (
+    BatchedNetworkSimulator,
+    LinkModel,
+    NetworkStats,
+)
+
+__all__ = [
+    "sim_code_version",
+    "graph_fingerprint",
+    "traffic_digest",
+    "stats_to_json",
+    "stats_from_json",
+    "ReplicaChunkManifest",
+    "run_replica_shard",
+    "merge_replica_stats",
+    "run_many_sharded",
+]
+
+#: Sources whose content defines what a simulated ``NetworkStats`` *means*.
+#: Hashed into every replica-chunk id (same contract as the sweep's
+#: ``_VERDICT_SOURCES``): editing any of them renames every chunk, so a
+#: resumed study recomputes instead of trusting stale results.
+_SIM_SOURCES = (
+    "graphs/digraph.py",
+    "graphs/apsp.py",
+    "routing/paths.py",
+    "routing/routers.py",
+    "simulation/events.py",
+    "simulation/network.py",
+)
+
+
+def sim_code_version() -> str:
+    """Fingerprint of the simulator-defining sources (chunk-id component)."""
+    return fingerprint_paths(_SIM_SOURCES)
+
+
+def graph_fingerprint(graph: BaseDigraph) -> str:
+    """Stable digest of a topology (vertex count, name and arc multiset)."""
+    digest = hashlib.sha256()
+    digest.update(f"{graph.num_vertices}:{graph.name}".encode())
+    arcs = np.fromiter(
+        (x for arc in graph.arcs() for x in arc), dtype=np.int64
+    )
+    digest.update(arcs.tobytes())
+    return digest.hexdigest()[:16]
+
+
+def traffic_digest(traffic: np.ndarray) -> str:
+    """Stable digest of one replica's ``(source, destination, time)`` triples."""
+    array = np.ascontiguousarray(np.asarray(traffic, dtype=float))
+    if array.size == 0:
+        array = array.reshape(0, 3)
+    if array.ndim != 2 or array.shape[1] != 3:
+        raise ValueError(
+            "traffic must be a sequence of (source, destination, time) triples"
+        )
+    return hashlib.sha256(array.tobytes()).hexdigest()[:16]
+
+
+# --------------------------------------------------------------------------
+# NetworkStats JSON codec (exact float round-trip)
+# --------------------------------------------------------------------------
+_STATS_FIELDS = (
+    "delivered",
+    "undelivered",
+    "makespan",
+    "mean_latency",
+    "max_latency",
+    "mean_hops",
+    "max_link_queue",
+    "total_link_busy_time",
+)
+
+
+def stats_to_json(stats: NetworkStats) -> dict:
+    """One :class:`NetworkStats` as a JSON object.
+
+    Python's ``json`` serialises floats with ``repr``, the shortest string
+    that round-trips exactly — which is what lets the sharded path promise
+    *byte-identical* merged results, not merely close ones.
+    """
+    return {name: getattr(stats, name) for name in _STATS_FIELDS}
+
+
+def stats_from_json(record: dict) -> NetworkStats:
+    """Inverse of :func:`stats_to_json`."""
+    return NetworkStats(
+        delivered=int(record["delivered"]),
+        undelivered=int(record["undelivered"]),
+        makespan=float(record["makespan"]),
+        mean_latency=float(record["mean_latency"]),
+        max_latency=float(record["max_latency"]),
+        mean_hops=float(record["mean_hops"]),
+        max_link_queue=int(record["max_link_queue"]),
+        total_link_busy_time=float(record["total_link_busy_time"]),
+    )
+
+
+# --------------------------------------------------------------------------
+# Manifest
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplicaChunkManifest:
+    """Deterministic partition of a ``run_many`` replica list into chunks.
+
+    ``chunks[i].items`` holds ``(replica_index, traffic_digest)`` pairs; the
+    digests tie each chunk id to the exact traffic content, so two hosts
+    sharing a store directory can only ever agree on a chunk when they
+    simulate the same messages on the same topology with the same code.
+    """
+
+    graph_fp: str
+    link: LinkModel
+    router: str
+    num_replicas: int
+    chunk_size: int
+    code_version: str
+    chunks: tuple[SweepChunk, ...]
+
+    @classmethod
+    def build(
+        cls,
+        graph: BaseDigraph,
+        traffics,
+        *,
+        link: LinkModel | None = None,
+        router: str = "auto",
+        chunk_size: int = 4,
+        code_version: str | None = None,
+    ) -> "ReplicaChunkManifest":
+        """Partition ``traffics`` (one entry per replica) into named chunks.
+
+        ``code_version`` defaults to :func:`sim_code_version` and should only
+        be overridden by tests (to simulate a version bump without editing
+        sources).
+        """
+        link = link or LinkModel()
+        version = sim_code_version() if code_version is None else code_version
+        graph_fp = graph_fingerprint(graph)
+        items = [
+            (index, traffic_digest(traffic))
+            for index, traffic in enumerate(traffics)
+        ]
+        identity = [
+            "run_many",
+            graph_fp,
+            link.latency,
+            link.transmission_time,
+            router,
+            version,
+        ]
+        return cls(
+            graph_fp=graph_fp,
+            link=link,
+            router=router,
+            num_replicas=len(items),
+            chunk_size=chunk_size,
+            code_version=version,
+            chunks=make_chunks(items, chunk_size, identity),
+        )
+
+    def shard(self, index: int, count: int) -> tuple[SweepChunk, ...]:
+        """Round-robin shard ``index`` of ``count`` (same rule as the sweep)."""
+        if count < 1:
+            raise ValueError("shard count must be positive")
+        if not 0 <= index < count:
+            raise ValueError(f"shard index must be in [0, {count}), got {index}")
+        return self.chunks[index::count]
+
+
+# --------------------------------------------------------------------------
+# Execution
+# --------------------------------------------------------------------------
+def _run_replica_chunk(payload) -> list[dict]:
+    """Simulate one chunk's replicas; returns one record per replica.
+
+    ``payload`` is ``(graph, link, router_kind, [(index, traffic), ...])`` —
+    plain picklable values so a :class:`ProcessPoolExecutor` worker can run
+    it; the serial path calls it with the same payload.  Each chunk is its
+    own ``run_many`` stack, and per-replica results are independent of the
+    stacking (the batched-engine contract), so chunk boundaries never show
+    in the merged output.
+    """
+    graph, link, router_kind, entries = payload
+    simulator = BatchedNetworkSimulator(graph, link=link, router=router_kind)
+    results = simulator.run_many(
+        [traffic for _, traffic in entries], return_messages=False
+    )
+    return [
+        {"replica": index, "stats": stats_to_json(stats)}
+        for (index, _), (stats, _) in zip(entries, results)
+    ]
+
+
+def run_replica_shard(
+    manifest: ReplicaChunkManifest,
+    store: ChunkStore | str | Path,
+    graph: BaseDigraph,
+    traffics,
+    *,
+    shard: tuple[int, int] = (0, 1),
+    resume: bool = False,
+    workers: int | None = None,
+) -> dict:
+    """Execute (one shard of) a replica manifest into a chunk store.
+
+    Mirrors :func:`repro.otis.sweep.run_sweep`: different shards write
+    disjoint chunk files, ``resume=True`` skips already-published chunks,
+    and ``workers > 1`` fans the shard's chunks over a process pool,
+    publishing each chunk the moment it completes so a crash loses at most
+    the chunks in flight.  The supplied ``traffics`` are verified against
+    the manifest's digests before anything runs — a mismatch means the
+    caller is trying to resume a store with different messages, which would
+    poison the merge.
+    """
+    if not isinstance(store, ChunkStore):
+        store = ChunkStore(store)
+    if len(traffics) != manifest.num_replicas:
+        raise ValueError(
+            f"manifest covers {manifest.num_replicas} replicas, got "
+            f"{len(traffics)} traffics"
+        )
+    arrays = [np.asarray(traffic, dtype=float) for traffic in traffics]
+    shard_index, shard_count = shard
+    chunks = manifest.shard(shard_index, shard_count)
+    todo = []
+    skipped = []
+    for chunk in chunks:
+        for index, digest in chunk.items:
+            if traffic_digest(arrays[index]) != digest:
+                raise ValueError(
+                    f"traffic of replica {index} does not match the manifest "
+                    "digest (different messages than the store was built for)"
+                )
+        if resume and store.is_complete(chunk):
+            skipped.append(chunk.chunk_id)
+        else:
+            todo.append(chunk)
+    payloads = [
+        (
+            graph,
+            manifest.link,
+            manifest.router,
+            [(index, arrays[index]) for index, _ in chunk.items],
+        )
+        for chunk in todo
+    ]
+    if workers is not None and workers > 1 and len(todo) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_run_replica_chunk, payload): chunk
+                for chunk, payload in zip(todo, payloads)
+            }
+            for future in as_completed(futures):
+                store.write(futures[future], future.result())
+    else:
+        for chunk, payload in zip(todo, payloads):
+            store.write(chunk, _run_replica_chunk(payload))
+    return {
+        "ran": [chunk.chunk_id for chunk in todo],
+        "skipped": skipped,
+        "store": str(store.directory),
+    }
+
+
+def merge_replica_stats(
+    manifest: ReplicaChunkManifest, store: ChunkStore | str | Path
+) -> list[NetworkStats]:
+    """Fold a store's chunk files into the per-replica stats list.
+
+    The result is byte-identical to
+    ``[stats for stats, _ in simulator.run_many(traffics,
+    return_messages=False)]``; raises ``FileNotFoundError`` naming the
+    missing chunk ids when any chunk has not been published (run the
+    remaining shards, or relaunch with ``resume=True``, first).
+    """
+    if not isinstance(store, ChunkStore):
+        store = ChunkStore(store)
+    missing = [
+        chunk.chunk_id for chunk in manifest.chunks if not store.is_complete(chunk)
+    ]
+    if missing:
+        message = (
+            f"{len(missing)} of {len(manifest.chunks)} replica chunks "
+            f"incomplete (e.g. {missing[:3]}); run the remaining shards "
+            "(or resume) first"
+        )
+        # Chunk files that belong to no chunk of *this* manifest usually mean
+        # the manifest identity changed under the store: different
+        # --chunk-size/router/link/traffic parameters, or a simulator code
+        # edit, rename every chunk id.  "Run the remaining shards" alone
+        # would just pile a second full set of chunks into the store.
+        orphans = store.completed_ids() - {c.chunk_id for c in manifest.chunks}
+        if orphans:
+            message += (
+                f"; NOTE: the store also holds {len(orphans)} chunk file(s) "
+                "from a different manifest — the chunk size, router, link "
+                "timings, traffic parameters or simulator code version "
+                "likely changed since they were written (current code "
+                f"version: {manifest.code_version})"
+            )
+        raise FileNotFoundError(message)
+    stats: list[NetworkStats | None] = [None] * manifest.num_replicas
+    for chunk in manifest.chunks:
+        for record in store.read(chunk):
+            stats[int(record["replica"])] = stats_from_json(record["stats"])
+    if any(entry is None for entry in stats):  # pragma: no cover - defensive
+        raise ValueError("chunk files do not cover every replica")
+    return stats  # type: ignore[return-value]
+
+
+def run_many_sharded(
+    graph: BaseDigraph,
+    traffics,
+    *,
+    link: LinkModel | None = None,
+    router: str = "auto",
+    store: ChunkStore | str | Path,
+    chunk_size: int = 4,
+    resume: bool = False,
+    workers: int | None = None,
+) -> list[NetworkStats]:
+    """Single-host build → run → merge pipeline over a chunk store.
+
+    Equivalent to ``BatchedNetworkSimulator(graph, link,
+    router=router).run_many(traffics, return_messages=False)`` with the
+    replica blocks executed as resumable chunks (optionally across a process
+    pool) — per-replica :class:`NetworkStats` are byte-identical to the
+    in-process path.  The store outlives the call, so re-running with
+    ``resume=True`` after an interruption recomputes only the unpublished
+    chunks.
+    """
+    manifest = ReplicaChunkManifest.build(
+        graph, traffics, link=link, router=router, chunk_size=chunk_size
+    )
+    run_replica_shard(
+        manifest, store, graph, traffics, resume=resume, workers=workers
+    )
+    return merge_replica_stats(manifest, store)

@@ -9,13 +9,17 @@ exchange.  All generators take an explicit numpy ``Generator`` (or seed) so
 that every experiment in the benchmarks is reproducible.
 
 :func:`run_throughput_sweep` is the batched multi-workload driver: it
-enumerates ``(workload, injection rate, seed)`` combinations, builds the
-routing table once (:func:`repro.routing.paths.routing_table_for`) and hands
-the whole pile to
+enumerates ``(workload, injection rate, seed)`` combinations
+(:func:`sweep_combos`), builds each traffic deterministically from its seed
+(:func:`sweep_traffics`) and hands the whole pile to
 :meth:`repro.simulation.network.BatchedNetworkSimulator.run_many`, which
-simulates every combination in one pooled pass.  The resulting
-:class:`ThroughputSweep` aggregates seeds into throughput/latency curves and
-serialises to the ``BENCH_sim.json`` trajectory format.
+simulates every combination in one pooled pass over a shared router.  The
+resulting :class:`ThroughputSweep` aggregates seeds into throughput/latency
+curves and serialises to the ``BENCH_sim.json`` trajectory format.  The
+same ``(combos, traffics)`` pair feeds the process-sharded path of
+:mod:`repro.simulation.sharding` (``repro sim --out-dir ... --shard i/k``),
+which is how multi-seed million-message studies run on topologies whose
+dense routing table would not even fit in memory.
 """
 
 from __future__ import annotations
@@ -26,7 +30,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graphs.digraph import BaseDigraph
-from repro.routing.paths import routing_table_for
 from repro.simulation.network import (
     SIMULATOR_ENGINES,
     BatchedNetworkSimulator,
@@ -45,6 +48,9 @@ __all__ = [
     "make_workload",
     "SweepPoint",
     "ThroughputSweep",
+    "sweep_combos",
+    "sweep_traffics",
+    "assemble_throughput_sweep",
     "run_throughput_sweep",
 ]
 
@@ -285,43 +291,36 @@ class ThroughputSweep:
         }
 
 
-def run_throughput_sweep(
-    graph: BaseDigraph,
-    *,
-    workloads: tuple[str, ...] = ("uniform",),
-    rates: tuple[float | None, ...] = (None,),
-    seeds=range(3),
-    num_messages: int = 1000,
-    link: LinkModel | None = None,
-    engine: str = "batched",
-    hotspot: int = 0,
-    hotspot_fraction: float = 0.5,
-    until: float | None = None,
-) -> ThroughputSweep:
-    """Run every ``(workload, rate, seed)`` combination on one topology.
-
-    The routing table is built once and shared; with the default
-    ``engine="batched"`` all combinations are stacked into a single
-    :meth:`~repro.simulation.network.BatchedNetworkSimulator.run_many` pass
-    (per-combination results are bit-identical to running them one at a
-    time).  ``engine="event"`` runs the reference loop per combination — the
-    cross-check the parity suite leans on.
-    """
-    if engine not in SIMULATOR_ENGINES:
-        raise ValueError(
-            f"unknown engine {engine!r} (expected one of {sorted(SIMULATOR_ENGINES)})"
-        )
-    n = graph.num_vertices
-    combos = [
+def sweep_combos(
+    workloads: tuple[str, ...], rates: tuple[float | None, ...], seeds
+) -> list[tuple[str, float | None, int]]:
+    """The ``(workload, rate, seed)`` combinations of a sweep, in run order."""
+    return [
         (workload, rate, int(seed))
         for workload in workloads
         for rate in rates
         for seed in seeds
     ]
-    traffics = [
+
+
+def sweep_traffics(
+    num_nodes: int,
+    combos,
+    num_messages: int,
+    *,
+    hotspot: int = 0,
+    hotspot_fraction: float = 0.5,
+) -> list[Traffic]:
+    """One deterministic traffic per combination (seeded generators only).
+
+    Because every traffic is a pure function of its combination, the
+    sharded driver (:mod:`repro.simulation.sharding`) can regenerate them
+    on any host and the chunk digests will agree.
+    """
+    return [
         make_workload(
             workload,
-            n,
+            num_nodes,
             num_messages,
             rng=seed,
             rate=rate,
@@ -330,16 +329,23 @@ def run_throughput_sweep(
         )
         for workload, rate, seed in combos
     ]
-    simulator = SIMULATOR_ENGINES[engine](
-        graph, link=link, routing=routing_table_for(graph)
-    )
-    start = _time.perf_counter()
-    if isinstance(simulator, BatchedNetworkSimulator):
-        results = simulator.run_many(traffics, until=until, return_messages=False)
-        stats_list = [stats for stats, _ in results]
-    else:
-        stats_list = [simulator.run(traffic, until=until)[0] for traffic in traffics]
-    wall = _time.perf_counter() - start
+
+
+def assemble_throughput_sweep(
+    graph: BaseDigraph,
+    combos,
+    traffics,
+    stats_list,
+    *,
+    engine: str,
+    link: LinkModel,
+    wall_time_s: float,
+) -> ThroughputSweep:
+    """Package per-combination stats into a :class:`ThroughputSweep`.
+
+    Shared by the in-process driver and the sharded merge path, so both
+    produce the same curves from the same stats.
+    """
     points = [
         SweepPoint(
             workload=workload,
@@ -350,12 +356,67 @@ def run_throughput_sweep(
         )
         for (workload, rate, seed), traffic, stats in zip(combos, traffics, stats_list)
     ]
+    n = graph.num_vertices
     return ThroughputSweep(
         graph_name=graph.name or f"digraph(n={n})",
         num_nodes=n,
         num_links=graph.num_arcs,
         engine=engine,
-        link=simulator.link,
+        link=link,
         points=points,
+        wall_time_s=wall_time_s,
+    )
+
+
+def run_throughput_sweep(
+    graph: BaseDigraph,
+    *,
+    workloads: tuple[str, ...] = ("uniform",),
+    rates: tuple[float | None, ...] = (None,),
+    seeds=range(3),
+    num_messages: int = 1000,
+    link: LinkModel | None = None,
+    engine: str = "batched",
+    router: str | None = None,
+    hotspot: int = 0,
+    hotspot_fraction: float = 0.5,
+    until: float | None = None,
+) -> ThroughputSweep:
+    """Run every ``(workload, rate, seed)`` combination on one topology.
+
+    One router is built and shared across combinations (``router=None``
+    defaults to the ``"auto"`` policy: the memoised dense table for small
+    topologies, table-free routing above
+    :data:`repro.routing.routers.AUTO_DENSE_MAX_N` vertices).  With the
+    default ``engine="batched"`` all combinations are stacked into a single
+    :meth:`~repro.simulation.network.BatchedNetworkSimulator.run_many` pass
+    (per-combination results are bit-identical to running them one at a
+    time).  ``engine="event"`` runs the reference loop per combination — the
+    cross-check the parity suite leans on.
+    """
+    if engine not in SIMULATOR_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r} (expected one of {sorted(SIMULATOR_ENGINES)})"
+        )
+    n = graph.num_vertices
+    combos = sweep_combos(workloads, rates, seeds)
+    traffics = sweep_traffics(
+        n, combos, num_messages, hotspot=hotspot, hotspot_fraction=hotspot_fraction
+    )
+    simulator = SIMULATOR_ENGINES[engine](graph, link=link, router=router)
+    start = _time.perf_counter()
+    if isinstance(simulator, BatchedNetworkSimulator):
+        results = simulator.run_many(traffics, until=until, return_messages=False)
+        stats_list = [stats for stats, _ in results]
+    else:
+        stats_list = [simulator.run(traffic, until=until)[0] for traffic in traffics]
+    wall = _time.perf_counter() - start
+    return assemble_throughput_sweep(
+        graph,
+        combos,
+        traffics,
+        stats_list,
+        engine=engine,
+        link=simulator.link,
         wall_time_s=wall,
     )

@@ -14,8 +14,10 @@ import pytest
 from repro.graphs.apsp import (
     batched_eccentricities,
     bit_distance_matrix,
+    padded_predecessor_matrix,
     padded_successor_matrix,
     pairwise_distance_sum,
+    subset_distance_rows,
 )
 from repro.graphs.digraph import Digraph, RegularDigraph
 from repro.graphs.generators import circuit, de_bruijn, kautz
@@ -216,3 +218,99 @@ class TestReverseBfs:
     def test_bad_target(self):
         with pytest.raises(ValueError):
             reverse_bfs_distances_regular(de_bruijn(2, 3), 99)
+
+
+class TestSubsetSources:
+    """``sources=`` subset sweeps agree with the full engine everywhere."""
+
+    def test_subset_matches_full_sweep(self):
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            n = int(rng.integers(2, 60))
+            graph = random_digraph(rng, n, int(rng.integers(0, 4 * n)), parallel=True)
+            full, _ = batched_eccentricities(graph)
+            sources = rng.permutation(n)[: int(rng.integers(1, n + 1))]
+            subset, aborted = batched_eccentricities(graph, sources=sources)
+            assert not aborted
+            assert np.array_equal(subset, full[sources])
+
+    def test_more_than_64_sources(self):
+        # more sources than one machine word: the multi-word state path
+        graph = de_bruijn(2, 7)  # n = 128
+        sources = np.arange(100)
+        full, _ = batched_eccentricities(graph)
+        subset, _ = batched_eccentricities(graph, sources=sources)
+        assert np.array_equal(subset, full[:100])
+
+    def test_duplicate_and_unordered_sources(self):
+        graph = kautz(2, 3)
+        full, _ = batched_eccentricities(graph)
+        sources = np.array([5, 0, 5, 2])
+        subset, _ = batched_eccentricities(graph, sources=sources)
+        assert np.array_equal(subset, full[sources])
+
+    def test_upper_bound_abort_parity_with_full_sweep(self):
+        graphs = [
+            de_bruijn(2, 5),
+            Digraph(6, arcs=[(i, i + 1) for i in range(5)]),
+            Digraph(3, arcs=[(0, 1), (1, 0)]),
+        ]
+        for graph in graphs:
+            n = graph.num_vertices
+            for bound in range(0, 7):
+                full, full_abort = batched_eccentricities(graph, upper_bound=bound)
+                subset, subset_abort = batched_eccentricities(
+                    graph, upper_bound=bound, sources=np.arange(n)
+                )
+                assert subset_abort == full_abort
+                assert np.array_equal(subset, full)
+
+    def test_sampled_screen_on_unreachable_source(self):
+        graph = Digraph(4, arcs=[(0, 1), (1, 0), (1, 2)])
+        subset, aborted = batched_eccentricities(graph, sources=np.array([2, 0]))
+        assert not aborted
+        assert list(subset) == [-1, -1]  # neither 2 nor 0 reaches vertex 3
+
+    def test_rejects_bad_sources(self):
+        graph = de_bruijn(2, 3)
+        with pytest.raises(ValueError):
+            batched_eccentricities(graph, sources=np.array([99]))
+        with pytest.raises(ValueError):
+            batched_eccentricities(graph, sources=np.array([[0, 1]]))
+        with pytest.raises(ValueError):
+            batched_eccentricities(graph.successors, sources=np.array([0]))
+
+
+class TestSubsetDistanceRows:
+    def test_rows_match_distance_matrix(self):
+        rng = np.random.default_rng(13)
+        for _ in range(10):
+            n = int(rng.integers(2, 50))
+            graph = random_digraph(rng, n, int(rng.integers(0, 4 * n)), parallel=True)
+            matrix = bit_distance_matrix(graph)
+            sources = rng.permutation(n)[: int(rng.integers(1, n + 1))]
+            rows = subset_distance_rows(graph, sources)
+            assert np.array_equal(rows, matrix[sources])
+
+    def test_precomputed_predecessors_path(self):
+        graph = h_digraph(4, 8, 2)
+        predecessors = padded_predecessor_matrix(graph)
+        sources = np.array([0, 7, 3])
+        with_pred = subset_distance_rows(graph, sources, predecessors=predecessors)
+        without = subset_distance_rows(graph, sources)
+        assert np.array_equal(with_pred, without)
+
+    def test_predecessor_matrix_covers_multiplicity(self):
+        graph = h_digraph(1, 4, 2)  # parallel arcs
+        predecessors = padded_predecessor_matrix(graph)
+        in_degrees = graph.in_degrees()
+        assert predecessors.shape[1] == in_degrees.max()
+
+    def test_raw_matrix_needs_explicit_predecessors(self):
+        graph = de_bruijn(2, 3)
+        with pytest.raises(ValueError, match="predecessors"):
+            subset_distance_rows(graph.successors, np.array([0]))
+
+    def test_empty_sources(self):
+        rows = subset_distance_rows(de_bruijn(2, 3), np.zeros(0, dtype=np.int64))
+        assert rows.shape == (0, 8)

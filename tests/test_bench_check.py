@@ -1,0 +1,107 @@
+"""Unit tests for the BENCH_*.json regression-gate policy."""
+
+import json
+import subprocess
+
+from repro.analysis.bench_check import (
+    MIN_SIGNIFICANT_SECONDS,
+    check_file,
+    committed_bench,
+    compare_bench,
+    iter_wall_time_keys,
+    main,
+)
+
+
+class TestWallTimeKeys:
+    def test_finds_nested_seconds_leaves(self):
+        entry = {
+            "uniform": {"batched_s": 1.0, "speedup": 13.0},
+            "sweep": {"wall_time_s": 2.5, "curves": [{"warm_s": 0.2}]},
+        }
+        keys = dict(iter_wall_time_keys(entry))
+        assert keys == {
+            ("uniform", "batched_s"): 1.0,
+            ("sweep", "wall_time_s"): 2.5,
+            ("sweep", "curves", "0", "warm_s"): 0.2,
+        }
+
+    def test_ignores_non_numeric_and_bools(self):
+        assert dict(iter_wall_time_keys({"a_s": "fast", "b_s": True})) == {}
+
+
+class TestCompareBench:
+    def test_regression_detected(self):
+        old = {"bench": {"wall_time_s": 1.0}}
+        new = {"bench": {"wall_time_s": 2.5}}
+        messages = compare_bench(old, new)
+        assert len(messages) == 1
+        assert "bench.wall_time_s" in messages[0]
+
+    def test_within_factor_passes(self):
+        old = {"bench": {"wall_time_s": 1.0}}
+        new = {"bench": {"wall_time_s": 1.9}}
+        assert compare_bench(old, new) == []
+
+    def test_speedup_passes(self):
+        assert compare_bench({"a_s": 1.0}, {"a_s": 0.1}) == []
+
+    def test_new_and_removed_keys_ignored(self):
+        old = {"gone": {"wall_time_s": 1.0}}
+        new = {"fresh": {"wall_time_s": 99.0}}
+        assert compare_bench(old, new) == []
+
+    def test_noise_floor(self):
+        # a 10x blip on a sub-threshold timing is scheduler noise, not signal
+        tiny = MIN_SIGNIFICANT_SECONDS / 2
+        assert compare_bench({"a_s": tiny}, {"a_s": tiny * 10}) == []
+
+    def test_non_timing_metrics_never_fail(self):
+        old = {"bench": {"speedup": 13.0, "nodes": 1024}}
+        new = {"bench": {"speedup": 1.0, "nodes": 5}}
+        assert compare_bench(old, new) == []
+
+    def test_custom_factor(self):
+        old = {"a_s": 1.0}
+        assert compare_bench(old, {"a_s": 1.5}, factor=1.2)
+        assert compare_bench(old, {"a_s": 1.5}, factor=2.0) == []
+
+
+class TestGitComparison:
+    def _git(self, cwd, *args):
+        subprocess.run(
+            ["git", *args], cwd=cwd, check=True, capture_output=True
+        )
+
+    def _repo_with_bench(self, tmp_path, entry):
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "config", "user.email", "t@t")
+        self._git(tmp_path, "config", "user.name", "t")
+        bench = tmp_path / "BENCH_x.json"
+        bench.write_text(json.dumps(entry))
+        self._git(tmp_path, "add", "BENCH_x.json")
+        self._git(tmp_path, "commit", "-q", "-m", "seed bench")
+        return bench
+
+    def test_committed_version_read_back(self, tmp_path):
+        bench = self._repo_with_bench(tmp_path, {"a": {"wall_time_s": 1.0}})
+        assert committed_bench(bench) == {"a": {"wall_time_s": 1.0}}
+
+    def test_check_file_flags_regression(self, tmp_path):
+        bench = self._repo_with_bench(tmp_path, {"a": {"wall_time_s": 1.0}})
+        bench.write_text(json.dumps({"a": {"wall_time_s": 5.0}}))
+        messages = check_file(bench)
+        assert len(messages) == 1 and "a.wall_time_s" in messages[0]
+        assert main([str(bench)]) == 1
+
+    def test_check_file_ok_when_unchanged(self, tmp_path):
+        bench = self._repo_with_bench(tmp_path, {"a": {"wall_time_s": 1.0}})
+        assert check_file(bench) == []
+        assert main([str(bench)]) == 0
+
+    def test_untracked_file_is_not_a_regression(self, tmp_path):
+        self._git(tmp_path, "init", "-q")
+        bench = tmp_path / "BENCH_new.json"
+        bench.write_text(json.dumps({"a": {"wall_time_s": 9.0}}))
+        assert committed_bench(bench) is None
+        assert check_file(bench) == []

@@ -219,3 +219,131 @@ class TestSimCommandJson:
         (key,) = data.keys()
         assert key == "sweep_H(4,8,2)_batched"
         assert data[key]["engine"] == "batched"
+
+
+class TestSimRouterFlag:
+    @pytest.mark.parametrize("router", ["dense", "closed-form", "lru"])
+    def test_router_choices_agree(self, capsys, router):
+        assert (
+            main(
+                [
+                    "sim",
+                    "-p", "4", "-q", "8",
+                    "--messages", "30",
+                    "--seeds", "1",
+                    "--router", router,
+                    "--engine", "both",
+                ]
+            )
+            == 0
+        )
+        assert "parity with event-loop reference: True" in capsys.readouterr().out
+
+    def test_rejects_unknown_router(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sim", "-p", "4", "-q", "8", "--router", "magic"])
+
+
+class TestSimShardedCommand:
+    def _args(self, tmp_path, *extra):
+        return [
+            "sim",
+            "-p", "4", "-q", "8",
+            "--messages", "25",
+            "--seeds", "4",
+            "--out-dir", str(tmp_path / "replicas"),
+            "--chunk-size", "2",
+            *extra,
+        ]
+
+    def test_shard_run_then_merge(self, capsys, tmp_path):
+        assert main(self._args(tmp_path, "--shard", "0/2")) == 0
+        assert main(self._args(tmp_path, "--shard", "1/2")) == 0
+        capsys.readouterr()
+        assert main(self._args(tmp_path, "--merge")) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "100/100" in out  # 4 seeds x 25 messages, all delivered
+
+    def test_merge_refuses_incomplete_store(self, capsys, tmp_path):
+        assert main(self._args(tmp_path, "--shard", "0/2")) == 0
+        capsys.readouterr()
+        assert main(self._args(tmp_path, "--merge")) == 1
+        assert "incomplete" in capsys.readouterr().err
+
+    def test_resume_skips_completed_chunks(self, capsys, tmp_path):
+        assert main(self._args(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self._args(tmp_path, "--resume")) == 0
+        assert "ran 0 chunks" in capsys.readouterr().out
+
+    def test_sharded_merge_matches_in_process_curves(self, capsys, tmp_path):
+        assert main(self._args(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self._args(tmp_path, "--merge")) == 0
+        sharded_out = capsys.readouterr().out
+        assert (
+            main(["sim", "-p", "4", "-q", "8", "--messages", "25", "--seeds", "4"])
+            == 0
+        )
+        in_process_out = capsys.readouterr().out
+        # identical curve rows (skip the differing header/progress lines)
+        sharded_rows = [l for l in sharded_out.splitlines() if "uniform" in l]
+        in_process_rows = [l for l in in_process_out.splitlines() if "uniform" in l]
+        assert sharded_rows == in_process_rows
+
+    def test_sharded_writes_json(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "BENCH_sim.json"
+        assert main(self._args(tmp_path)) == 0
+        assert main(self._args(tmp_path, "--merge", "--json", str(target))) == 0
+        data = json.loads(target.read_text())
+        entry = data["sweep_H(4,8,2)_sharded"]
+        assert entry["curves"][0]["delivered"] == 100
+        # the merge never timed the simulation: no bogus wall_time_s in the
+        # trajectory, only the (clearly labelled) fold time
+        assert "wall_time_s" not in entry
+        assert "merge_wall_time_s" in entry
+
+    def test_sharded_rejects_event_engine(self, capsys, tmp_path):
+        assert main(self._args(tmp_path, "--engine", "event")) == 2
+        assert "batched engine" in capsys.readouterr().err
+
+
+class TestSweepPartialMerge:
+    def _args(self, tmp_path, *extra):
+        return [
+            "sweep",
+            "-D", "6",
+            "--n-min", "62",
+            "--n-max", "66",
+            "--out-dir", str(tmp_path / "chunks"),
+            "--chunk-size", "8",
+            *extra,
+        ]
+
+    def test_partial_merge_reports_progress(self, capsys, tmp_path):
+        assert main(self._args(tmp_path, "--shard", "0/2")) == 0
+        capsys.readouterr()
+        assert main(self._args(tmp_path, "--merge", "--partial")) == 0
+        out = capsys.readouterr().out
+        assert "PARTIAL merge" in out
+        assert "chunks complete" in out
+        # the strict merge of the same store still refuses
+        assert main(self._args(tmp_path, "--merge")) == 1
+
+    def test_partial_without_merge_is_rejected(self, capsys, tmp_path):
+        assert main(self._args(tmp_path, "--partial")) == 2
+        assert "--merge" in capsys.readouterr().err
+
+    def test_partial_merge_of_complete_store_matches_strict(self, capsys, tmp_path):
+        assert main(self._args(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self._args(tmp_path, "--merge")) == 0
+        strict = capsys.readouterr().out
+        assert main(self._args(tmp_path, "--merge", "--partial")) == 0
+        partial = capsys.readouterr().out
+        strict_rows = [l for l in strict.splitlines() if l and l[0].isdigit()]
+        partial_rows = [l for l in partial.splitlines() if l and l[0].isdigit()]
+        assert strict_rows == partial_rows

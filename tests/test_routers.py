@@ -1,0 +1,271 @@
+"""Router parity suite: closed-form vs LRU rows vs dense table vs BFS.
+
+The contract of :mod:`repro.routing.routers` is that every router returns,
+for every ``(source, target)`` pair, the *same* next hop the dense table of
+:func:`repro.routing.paths.build_routing_table` holds — bit-identical
+routes, so the simulators' engine-parity contract is router-independent.
+This suite enforces it exhaustively on the paper's families (including
+parallel-arc ``H`` instances and the Kautz no-repeated-letter constraint),
+on hypothesis-generated ``(d, D)`` pairs, and on arbitrary/disconnected
+digraphs for the LRU rows.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.digraph import Digraph
+from repro.graphs.generators import (
+    de_bruijn,
+    imase_itoh,
+    kautz,
+    reddy_raghavan_kuhl,
+    ring,
+)
+from repro.otis.h_digraph import h_digraph
+from repro.routing.paths import build_routing_table
+from repro.routing.routers import (
+    AUTO_DENSE_MAX_N,
+    ClosedFormRouter,
+    DenseTableRouter,
+    LruRowRouter,
+    make_router,
+    resolve_router,
+)
+from repro.words import word_to_int
+
+
+def all_pairs(n):
+    source, target = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    return source.ravel(), target.ravel()
+
+
+def assert_full_route_parity(graph, router):
+    """Every (source, target) next hop equals the dense table's."""
+    table = build_routing_table(graph)
+    source, target = all_pairs(graph.num_vertices)
+    expected = table.next_hop[source, target]
+    np.testing.assert_array_equal(router.next_hops(source, target), expected)
+    # scalar path agrees with the vector path
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        s, t = map(int, rng.integers(graph.num_vertices, size=2))
+        assert router.next_hop(s, t) == int(table.next_hop[s, t])
+
+
+CLOSED_FORM_GRAPHS = [
+    de_bruijn(2, 4),
+    de_bruijn(3, 3),
+    kautz(2, 4),
+    kautz(3, 3),
+    imase_itoh(2, 16),
+    reddy_raghavan_kuhl(2, 32),
+    h_digraph(2, 4, 2),    # parallel arcs (H(d^1, d^2, d), D = 2)
+    h_digraph(4, 8, 2),
+    h_digraph(8, 16, 2),   # balanced even-D split (D = 6), Corollary 4.4
+    h_digraph(32, 64, 2),  # the Table 1 flagship row, n = 1024
+]
+
+
+@pytest.mark.parametrize(
+    "graph", CLOSED_FORM_GRAPHS, ids=lambda g: g.name
+)
+def test_closed_form_matches_dense_table(graph):
+    assert_full_route_parity(graph, ClosedFormRouter.for_graph(graph))
+
+
+#: Parallel-arc ``H`` instances (non-power splits, outside the closed form's
+#: reach) plus an irregular baseline — the LRU router's home turf.
+LRU_EXTRA_GRAPHS = [ring(9), h_digraph(1, 4, 2), h_digraph(2, 8, 4)]
+
+
+@pytest.mark.parametrize(
+    "graph", CLOSED_FORM_GRAPHS + LRU_EXTRA_GRAPHS, ids=lambda g: g.name
+)
+def test_lru_rows_match_dense_table(graph):
+    # a tiny capacity forces evictions mid-suite; parity must survive them
+    assert_full_route_parity(graph, LruRowRouter(graph, max_rows=5))
+
+
+def test_parity_graph_set_includes_parallel_arcs():
+    multi = [g for g in LRU_EXTRA_GRAPHS if max(g.arc_multiset().values()) >= 2]
+    assert multi, "the parity set must cover parallel-arc H instances"
+
+
+class TestClosedFormAgainstWordRouting:
+    """The vector router agrees with the word-level O(D) routing functions."""
+
+    def test_debruijn_next_hop_is_unique_closer_neighbor(self):
+        from repro.routing.paths import debruijn_route
+
+        d, D = 2, 5
+        router = ClosedFormRouter.for_de_bruijn(d, D)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            s, t = map(int, rng.integers(d**D, size=2))
+            if s == t:
+                continue
+            path = debruijn_route(s, t, d, D)
+            assert router.next_hop(s, t) == path[1]
+
+    def test_kautz_hops_respect_no_repeat_constraint(self):
+        d, D = 2, 4
+        graph = kautz(d, D)
+        router = ClosedFormRouter.for_graph(graph)
+        source, target = all_pairs(graph.num_vertices)
+        hops = router.next_hops(source, target)
+        labels = graph.labels
+        for s, t, hop in zip(source.tolist(), target.tolist(), hops.tolist()):
+            word = labels[hop]
+            assert all(a != b for a, b in zip(word, word[1:]))
+            if s != t:
+                assert hop in graph.out_neighbors(s)
+
+    def test_kautz_code_table_is_lexicographic(self):
+        d, D = 2, 3
+        graph = kautz(d, D)
+        codes = [word_to_int(word, d + 1) for word in graph.labels]
+        assert codes == sorted(codes)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    d=st.integers(min_value=2, max_value=3),
+    D=st.integers(min_value=2, max_value=4),
+    family=st.sampled_from(["de_bruijn", "kautz"]),
+)
+def test_hypothesis_closed_form_parity(d, D, family):
+    graph = de_bruijn(d, D) if family == "de_bruijn" else kautz(d, D)
+    table = build_routing_table(graph)
+    router = ClosedFormRouter.for_graph(graph)
+    source, target = all_pairs(graph.num_vertices)
+    np.testing.assert_array_equal(
+        router.next_hops(source, target), table.next_hop[source, target]
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    p_prime=st.integers(min_value=1, max_value=4),
+    q_prime=st.integers(min_value=1, max_value=4),
+)
+def test_hypothesis_h_split_routing(p_prime, q_prime):
+    """Power splits either route closed-form (cyclic f) or are rejected."""
+    from repro.core.checks import is_otis_layout_of_de_bruijn
+
+    d = 2
+    graph = h_digraph(d**p_prime, d**q_prime, d)
+    if is_otis_layout_of_de_bruijn(d, p_prime, q_prime):
+        assert_full_route_parity(graph, ClosedFormRouter.for_graph(graph))
+    else:
+        with pytest.raises(ValueError):
+            ClosedFormRouter.for_graph(graph)
+
+
+class TestLruRouter:
+    def test_unreachable_pairs_return_minus_one(self):
+        graph = Digraph(4, arcs=[(0, 1), (1, 0), (1, 2)])
+        router = LruRowRouter(graph)
+        assert router.next_hop(2, 0) == -1
+        assert router.next_hops(np.array([2, 3]), np.array([0, 1])).tolist() == [-1, -1]
+
+    def test_eviction_keeps_parity(self):
+        graph = de_bruijn(2, 4)
+        table = build_routing_table(graph)
+        router = LruRowRouter(graph, max_rows=2)
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            s, t = map(int, rng.integers(16, size=2))
+            assert router.next_hop(s, t) == int(table.next_hop[s, t])
+        assert router.cached_rows() == 2
+        assert router.misses > 2  # evictions actually happened
+
+    def test_batch_wider_than_capacity(self):
+        # one batch touching more sources than max_rows must still be exact
+        graph = de_bruijn(2, 4)
+        table = build_routing_table(graph)
+        router = LruRowRouter(graph, max_rows=3)
+        source, target = all_pairs(16)
+        np.testing.assert_array_equal(
+            router.next_hops(source, target), table.next_hop[source, target]
+        )
+
+    def test_state_bytes_bounded_by_capacity(self):
+        graph = de_bruijn(2, 5)
+        router = LruRowRouter(graph, max_rows=4)
+        source, target = all_pairs(32)
+        router.next_hops(source, target)
+        assert router.cached_rows() <= 4
+        dense_bytes = DenseTableRouter.for_graph(graph).state_bytes()
+        assert router.state_bytes() < dense_bytes
+
+
+class TestSelection:
+    def test_auto_prefers_dense_below_threshold(self):
+        graph = h_digraph(4, 8, 2)
+        assert graph.num_vertices <= AUTO_DENSE_MAX_N
+        assert make_router(graph, "auto").kind == "dense"
+
+    def test_auto_goes_closed_form_above_threshold(self):
+        graph = h_digraph(64, 128, 2)  # n = 4096
+        assert graph.num_vertices > AUTO_DENSE_MAX_N
+        router = make_router(graph, "auto")
+        assert router.kind == "closed-form"
+        # O(n) state, not O(n^2)
+        assert router.state_bytes() < 32 * graph.num_vertices
+
+    def test_auto_falls_back_to_lru(self):
+        graph = Digraph(AUTO_DENSE_MAX_N + 1, name="big-arbitrary")
+        for u in range(graph.num_vertices):
+            graph.add_arc(u, (u + 1) % graph.num_vertices)
+        assert make_router(graph, "auto").kind == "lru"
+
+    def test_closed_form_rejects_unsupported(self):
+        for graph in (ring(8), h_digraph(3, 8, 2), h_digraph(1, 4, 2)):
+            with pytest.raises(ValueError):
+                ClosedFormRouter.for_graph(graph)
+            assert not ClosedFormRouter.supports(graph)
+
+    def test_spot_check_catches_impostor_name(self):
+        impostor = Digraph(8, arcs=[(u, (u + 1) % 8) for u in range(8)], name="B(2,3)")
+        with pytest.raises(ValueError, match="not an arc"):
+            ClosedFormRouter.for_graph(impostor)
+
+    def test_resolve_rejects_ambiguous_arguments(self):
+        graph = de_bruijn(2, 3)
+        table = build_routing_table(graph)
+        with pytest.raises(ValueError):
+            resolve_router(graph, routing=table, router="dense")
+        assert resolve_router(graph, routing=table).table is table
+        assert resolve_router(graph, router="lru").kind == "lru"
+        with pytest.raises(ValueError):
+            make_router(graph, "magic")
+
+
+class TestSimulatorIntegration:
+    """All routers produce identical simulations on both engines."""
+
+    @pytest.mark.parametrize("router_kind", ["dense", "closed-form", "lru"])
+    def test_router_choice_does_not_change_results(self, router_kind):
+        from repro.simulation.network import (
+            BatchedNetworkSimulator,
+            LinkModel,
+            NetworkSimulator,
+        )
+        from repro.simulation.workloads import uniform_random_pairs
+
+        graph = h_digraph(8, 16, 2)
+        link = LinkModel(0.7, 0.3)
+        traffic = uniform_random_pairs(graph.num_vertices, 200, rng=5, rate=2.0)
+        base_stats, base_messages = BatchedNetworkSimulator(
+            graph, link=link, router="dense"
+        ).run(traffic)
+        for engine_cls in (NetworkSimulator, BatchedNetworkSimulator):
+            stats, messages = engine_cls(graph, link=link, router=router_kind).run(
+                traffic
+            )
+            assert stats == base_stats
+            assert [(m.hops, m.arrival_time) for m in messages] == [
+                (m.hops, m.arrival_time) for m in base_messages
+            ]

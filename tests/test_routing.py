@@ -214,3 +214,110 @@ class TestGossip:
         schedule = all_port_gossip_schedule(Digraph(0))
         assert schedule.completed()
         assert schedule.num_rounds == 0
+
+
+class TestRoutingTableCache:
+    """The shared table LRU: bounded, evictable, mutation-safe."""
+
+    def setup_method(self):
+        from repro.routing.paths import (
+            clear_routing_table_cache,
+            set_routing_table_cache_limit,
+        )
+
+        clear_routing_table_cache()
+        set_routing_table_cache_limit(4)
+
+    teardown_method = setup_method
+
+    def test_hit_returns_same_instance(self):
+        from repro.routing.paths import routing_table_cache_info, routing_table_for
+
+        graph = de_bruijn(2, 4)
+        table = routing_table_for(graph)
+        assert routing_table_for(graph) is table
+        info = routing_table_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_bounded_across_many_topologies(self):
+        # A long multi-topology sweep must not accumulate dense tables: the
+        # LRU evicts the oldest entries instead of pinning one per graph.
+        from repro.routing.paths import (
+            routing_table_cache_info,
+            routing_table_for,
+            set_routing_table_cache_limit,
+        )
+
+        set_routing_table_cache_limit(2)
+        graphs = [de_bruijn(2, D) for D in range(2, 7)]
+        for graph in graphs:
+            routing_table_for(graph)
+        assert routing_table_cache_info()["entries"] == 2
+
+    def test_evicted_table_is_recomputed_not_stale(self):
+        from repro.routing.paths import routing_table_for, set_routing_table_cache_limit
+
+        set_routing_table_cache_limit(1)
+        a, b = de_bruijn(2, 3), de_bruijn(2, 4)
+        table_a = routing_table_for(a)
+        routing_table_for(b)  # evicts a's table
+        fresh = routing_table_for(a)
+        assert fresh is not table_a
+        assert np.array_equal(fresh.distance, table_a.distance)
+
+    def test_zero_limit_disables_caching(self):
+        from repro.routing.paths import routing_table_cache_info, routing_table_for, set_routing_table_cache_limit
+
+        set_routing_table_cache_limit(0)
+        graph = de_bruijn(2, 3)
+        assert routing_table_for(graph) is not routing_table_for(graph)
+        assert routing_table_cache_info()["entries"] == 0
+
+    def test_python_and_bitset_methods_have_separate_slots(self):
+        from repro.routing.paths import routing_table_cache_info, routing_table_for
+
+        graph = de_bruijn(2, 3)
+        bitset = routing_table_for(graph)
+        python = routing_table_for(graph, method="python")
+        assert bitset is not python
+        assert routing_table_for(graph, method="bitset") is bitset
+        assert routing_table_cache_info()["entries"] == 2
+
+    def test_mutation_still_invalidates(self):
+        from repro.routing.paths import routing_table_for
+
+        graph = Digraph(3, arcs=[(0, 1), (1, 0), (1, 2)])
+        table = routing_table_for(graph)
+        graph.remove_arc(1, 2)
+        graph.add_arc(0, 2)  # same (n, m), different topology
+        fresh = routing_table_for(graph)
+        assert fresh is not table
+        assert fresh.next_hop[0, 2] == 2
+
+    def test_cache_token_is_not_pickled(self):
+        # Regression: the per-graph token shipped inside a pickled graph
+        # could alias another graph's cache entry in a process whose token
+        # counter restarted (sharded-simulation workers unpickle graphs).
+        import pickle
+
+        from repro.routing.paths import routing_table_for
+
+        graph = de_bruijn(2, 4)
+        routing_table_for(graph)
+        assert hasattr(graph, "_routing_table_cache")
+        clone = pickle.loads(pickle.dumps(graph))
+        assert not hasattr(clone, "_routing_table_cache")
+        # the clone still routes correctly (fresh token, fresh/cached table)
+        table = routing_table_for(clone)
+        assert table.num_vertices == 16
+        assert table.is_consistent(clone)
+
+    def test_token_ids_are_process_qualified(self):
+        import os
+
+        from repro.routing.paths import routing_table_for
+
+        graph = de_bruijn(2, 3)
+        routing_table_for(graph)
+        signature, token_id = graph._routing_table_cache
+        assert token_id.startswith(f"{os.getpid()}-")

@@ -1,0 +1,212 @@
+"""Process-sharded ``run_many``: byte-identical merge, resume, determinism.
+
+The contract of :mod:`repro.simulation.sharding`: per-replica
+:class:`~repro.simulation.network.NetworkStats` merged from the chunk store
+are **byte-identical** to the in-process
+:meth:`~repro.simulation.network.BatchedNetworkSimulator.run_many` pass, no
+matter how the replicas were chunked, sharded, interrupted or resumed —
+exactly the guarantee the degree–diameter sweep gives for Table 1 rows.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.otis.h_digraph import h_digraph
+from repro.simulation.network import BatchedNetworkSimulator, LinkModel
+from repro.simulation.sharding import (
+    ReplicaChunkManifest,
+    merge_replica_stats,
+    run_many_sharded,
+    run_replica_shard,
+    sim_code_version,
+    stats_from_json,
+    stats_to_json,
+    traffic_digest,
+)
+from repro.simulation.workloads import make_workload
+
+GRAPH = h_digraph(8, 16, 2)  # n = 64, parallel-arc-free but loop-carrying
+LINK = LinkModel(latency=0.7, transmission_time=0.3)
+
+
+def example_traffics(count=6, messages=120):
+    n = GRAPH.num_vertices
+    traffics = [
+        make_workload("uniform", n, messages, rng=seed, rate=2.0)
+        for seed in range(count - 2)
+    ]
+    traffics.append(make_workload("hotspot", n, messages, rng=17))
+    traffics.append(make_workload("permutation", n, 0, rng=19))
+    return traffics
+
+
+def in_process_stats(traffics):
+    simulator = BatchedNetworkSimulator(GRAPH, link=LINK)
+    return [s for s, _ in simulator.run_many(traffics, return_messages=False)]
+
+
+class TestStatsCodec:
+    def test_round_trip_is_exact(self):
+        traffics = example_traffics(3)
+        for stats in in_process_stats(traffics):
+            assert stats_from_json(stats_to_json(stats)) == stats
+
+    def test_round_trip_survives_json_text(self):
+        import json
+
+        stats = in_process_stats(example_traffics(2))[0]
+        text = json.dumps(stats_to_json(stats))
+        assert stats_from_json(json.loads(text)) == stats
+
+
+class TestManifest:
+    def test_deterministic_chunk_ids(self):
+        traffics = example_traffics()
+        a = ReplicaChunkManifest.build(GRAPH, traffics, link=LINK, chunk_size=2)
+        b = ReplicaChunkManifest.build(GRAPH, traffics, link=LINK, chunk_size=2)
+        assert [c.chunk_id for c in a.chunks] == [c.chunk_id for c in b.chunks]
+
+    def test_identity_changes_rename_chunks(self):
+        traffics = example_traffics(4)
+        base = ReplicaChunkManifest.build(GRAPH, traffics, link=LINK, chunk_size=2)
+        variants = [
+            ReplicaChunkManifest.build(
+                GRAPH, traffics, link=LinkModel(1.0, 1.0), chunk_size=2
+            ),
+            ReplicaChunkManifest.build(
+                GRAPH, traffics, link=LINK, chunk_size=2, router="lru"
+            ),
+            ReplicaChunkManifest.build(
+                GRAPH, traffics, link=LINK, chunk_size=2, code_version="other"
+            ),
+            ReplicaChunkManifest.build(
+                h_digraph(4, 8, 2), traffics, link=LINK, chunk_size=2
+            ),
+        ]
+        base_ids = {c.chunk_id for c in base.chunks}
+        for variant in variants:
+            assert base_ids.isdisjoint({c.chunk_id for c in variant.chunks})
+
+    def test_traffic_content_changes_chunk_id(self):
+        traffics = example_traffics(2)
+        base = ReplicaChunkManifest.build(GRAPH, traffics, link=LINK)
+        altered = [list(traffics[0]), list(traffics[1])]
+        source, dest, time = altered[1][0]
+        altered[1][0] = (source, dest, time + 1.0)
+        changed = ReplicaChunkManifest.build(GRAPH, altered, link=LINK)
+        assert base.chunks[0].chunk_id != changed.chunks[0].chunk_id
+
+    def test_shards_partition_the_chunks(self):
+        manifest = ReplicaChunkManifest.build(
+            GRAPH, example_traffics(7), link=LINK, chunk_size=1
+        )
+        union = [c for k in range(3) for c in manifest.shard(k, 3)]
+        assert sorted(c.index for c in union) == list(range(len(manifest.chunks)))
+        with pytest.raises(ValueError):
+            manifest.shard(3, 3)
+
+    def test_code_version_is_source_fingerprint(self):
+        assert len(sim_code_version()) == 12
+        assert sim_code_version() == sim_code_version()
+
+    def test_traffic_digest_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            traffic_digest(np.zeros((3, 2)))
+
+
+class TestShardedExecution:
+    def test_merge_is_byte_identical_to_in_process(self, tmp_path):
+        traffics = example_traffics()
+        expected = in_process_stats(traffics)
+        merged = run_many_sharded(
+            GRAPH, traffics, link=LINK, store=tmp_path, chunk_size=2
+        )
+        assert merged == expected
+
+    def test_shard_union_is_byte_identical(self, tmp_path):
+        traffics = example_traffics()
+        expected = in_process_stats(traffics)
+        manifest = ReplicaChunkManifest.build(
+            GRAPH, traffics, link=LINK, chunk_size=1
+        )
+        for index in range(3):
+            run_replica_shard(
+                manifest, tmp_path, GRAPH, traffics, shard=(index, 3)
+            )
+        assert merge_replica_stats(manifest, tmp_path) == expected
+
+    def test_resume_after_kill_recomputes_only_missing(self, tmp_path):
+        traffics = example_traffics()
+        expected = in_process_stats(traffics)
+        manifest = ReplicaChunkManifest.build(
+            GRAPH, traffics, link=LINK, chunk_size=2
+        )
+        run_replica_shard(manifest, tmp_path, GRAPH, traffics)
+        # simulate a kill mid-chunk: one published file disappears
+        victim = manifest.chunks[1]
+        os.unlink(tmp_path / f"chunk-{victim.chunk_id}.jsonl")
+        outcome = run_replica_shard(
+            manifest, tmp_path, GRAPH, traffics, resume=True
+        )
+        assert outcome["ran"] == [victim.chunk_id]
+        assert len(outcome["skipped"]) == len(manifest.chunks) - 1
+        assert merge_replica_stats(manifest, tmp_path) == expected
+
+    def test_merge_refuses_incomplete_store(self, tmp_path):
+        traffics = example_traffics()
+        manifest = ReplicaChunkManifest.build(
+            GRAPH, traffics, link=LINK, chunk_size=2
+        )
+        run_replica_shard(manifest, tmp_path, GRAPH, traffics, shard=(0, 2))
+        with pytest.raises(FileNotFoundError, match="incomplete"):
+            merge_replica_stats(manifest, tmp_path)
+
+    def test_worker_pool_matches_serial(self, tmp_path):
+        traffics = example_traffics(4, messages=60)
+        expected = in_process_stats(traffics)
+        merged = run_many_sharded(
+            GRAPH,
+            traffics,
+            link=LINK,
+            store=tmp_path,
+            chunk_size=1,
+            workers=2,
+        )
+        assert merged == expected
+
+    def test_mismatched_traffic_is_rejected(self, tmp_path):
+        traffics = example_traffics(3)
+        manifest = ReplicaChunkManifest.build(GRAPH, traffics, link=LINK)
+        tampered = list(traffics)
+        tampered[0] = make_workload("uniform", GRAPH.num_vertices, 10, rng=99)
+        with pytest.raises(ValueError, match="digest"):
+            run_replica_shard(manifest, tmp_path, GRAPH, tampered)
+        with pytest.raises(ValueError, match="replicas"):
+            run_replica_shard(manifest, tmp_path, GRAPH, traffics[:2])
+
+    def test_sharded_respects_router_kind(self, tmp_path):
+        # lru routing through the sharded path stays byte-identical too
+        traffics = example_traffics(3, messages=80)
+        expected = in_process_stats(traffics)
+        merged = run_many_sharded(
+            GRAPH, traffics, link=LINK, router="lru", store=tmp_path
+        )
+        assert merged == expected
+
+
+class TestMergeDiagnostics:
+    def test_orphan_chunks_hint_at_parameter_mismatch(self, tmp_path):
+        # A store filled under one chunk size merged under another must say
+        # the manifest changed, not just "run the remaining shards".
+        traffics = example_traffics(4, messages=40)
+        written = ReplicaChunkManifest.build(
+            GRAPH, traffics, link=LINK, chunk_size=2
+        )
+        run_replica_shard(written, tmp_path, GRAPH, traffics)
+        mismatched = ReplicaChunkManifest.build(
+            GRAPH, traffics, link=LINK, chunk_size=3
+        )
+        with pytest.raises(FileNotFoundError, match="different manifest"):
+            merge_replica_stats(mismatched, tmp_path)

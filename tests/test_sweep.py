@@ -309,3 +309,57 @@ class TestEndToEndTable1Block:
         assert cache.misses == 0  # every verdict of the redone chunk was cached
         merged = merge_sweep(manifest, store)
         assert merged.rows == direct.rows
+
+
+class TestPartialMerge:
+    def test_partial_merge_covers_completed_chunks_only(self, tmp_path):
+        manifest = d6_manifest(chunk_size=4)
+        assert len(manifest.chunks) > 2
+        store = ChunkStore(tmp_path / "chunks")
+        run_sweep(manifest, store, shard=(0, 2))
+        partial = merge_sweep(manifest, store, partial=True)
+        with pytest.raises(FileNotFoundError):
+            merge_sweep(manifest, store)  # strict mode still refuses
+        # every row of the partial result is a row of the full result
+        run_sweep(manifest, store, shard=(1, 2))
+        full = merge_sweep(manifest, store)
+        full_rows = dict(full.rows)
+        for n, splits in partial.rows:
+            assert set(splits) <= set(full_rows[n])
+        # and the partial result genuinely misses some of the full rows
+        assert partial.rows != full.rows
+
+    def test_partial_merge_of_complete_store_equals_strict(self, tmp_path):
+        manifest = d6_manifest(chunk_size=4)
+        store = ChunkStore(tmp_path / "chunks")
+        run_sweep(manifest, store)
+        assert merge_sweep(manifest, store, partial=True) == merge_sweep(
+            manifest, store
+        )
+
+
+class TestMakeChunks:
+    def test_generic_chunking_matches_manifest_ids(self):
+        # ChunkManifest.build routes through make_chunks: identical payloads
+        # must yield identical ids (the cross-subsystem coordination rule).
+        from repro.otis.sweep import make_chunks
+
+        manifest = d6_manifest()
+        items = [item for chunk in manifest.chunks for item in chunk.items]
+        rebuilt = make_chunks(
+            items,
+            manifest.chunk_size,
+            [manifest.d, manifest.diameter, manifest.require_exact, manifest.code_version],
+        )
+        assert [c.chunk_id for c in rebuilt] == [c.chunk_id for c in manifest.chunks]
+
+    def test_identity_renames_chunks(self):
+        from repro.otis.sweep import make_chunks
+
+        items = [(1, "a"), (2, "b")]
+        assert (
+            make_chunks(items, 2, ["x"])[0].chunk_id
+            != make_chunks(items, 2, ["y"])[0].chunk_id
+        )
+        with pytest.raises(ValueError):
+            make_chunks(items, 0, ["x"])
