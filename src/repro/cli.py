@@ -20,7 +20,14 @@ Exposes the reproduction's main entry points without writing any Python:
   (:mod:`repro.otis.sweep`): run a shard with ``--shard i/k``, relaunch with
   ``--resume`` after an interruption, fold the chunk files with ``--merge``
   (``--partial`` for a progress report over an incomplete store), and
-  memoise split verdicts across runs with ``--cache-dir``.
+  memoise split verdicts across runs with ``--cache-dir``,
+* ``fleet``   — the lease-based fleet driver (:mod:`repro.fleet`): workers
+  **auto-assign** sweep/sim chunks through atomic TTL leases on a shared
+  out-dir (no ``--shard i/k`` bookkeeping, crashed workers' chunks are
+  reclaimed).  ``fleet sweep ...`` / ``fleet sim ...`` start a worker,
+  ``--watch`` tails a live progress/heartbeat snapshot, ``--merge`` folds
+  the completed store, and ``fleet --smoke`` runs a seconds-long end-to-end
+  claim → run → reclaim → merge exercise of both backends.
 
 Each subcommand prints plain text to stdout and exits non-zero on failure, so
 the CLI can be scripted.
@@ -209,6 +216,137 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="accept any diameter <= D instead of exactly D",
     )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="lease-based fleet driver: workers auto-assign sweep/sim chunks",
+    )
+    fleet.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-long end-to-end exercise of the claim/run/reclaim/merge "
+        "cycle on both backends (tiny sweep + tiny sim in a temp dir)",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command")
+
+    def _add_lease_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--ttl",
+            type=float,
+            default=60.0,
+            help="lease TTL seconds - a protocol constant of the out-dir: "
+            "every worker of one fleet must use the same value (default 60)",
+        )
+        p.add_argument(
+            "--heartbeat",
+            type=float,
+            default=None,
+            help="lease refresh interval while computing (default ttl/4)",
+        )
+        p.add_argument(
+            "--worker-id", help="lease owner label (default host-pid-nonce)"
+        )
+        p.add_argument(
+            "--max-chunks",
+            type=int,
+            default=None,
+            help="stop this worker after running that many chunks",
+        )
+        p.add_argument(
+            "--no-wait",
+            action="store_true",
+            help="exit when nothing is claimable instead of polling until "
+            "the whole store completes",
+        )
+        p.add_argument(
+            "--watch",
+            action="store_true",
+            help="do not run chunks: print a live progress/heartbeat "
+            "snapshot until the store completes",
+        )
+        p.add_argument(
+            "--interval",
+            type=float,
+            default=2.0,
+            help="refresh period of --watch, seconds (default 2)",
+        )
+        p.add_argument(
+            "--merge",
+            action="store_true",
+            help="fold the completed store into the final result instead of "
+            "running chunks",
+        )
+
+    fleet_sweep = fleet_sub.add_parser(
+        "sweep", help="degree-diameter sweep chunks under fleet leases"
+    )
+    fleet_sweep.add_argument("-d", type=int, default=2, help="degree")
+    fleet_sweep.add_argument(
+        "-D", "--diameter", type=int, required=True, help="target diameter"
+    )
+    fleet_sweep.add_argument("--n-min", type=int, required=True)
+    fleet_sweep.add_argument("--n-max", type=int, required=True)
+    fleet_sweep.add_argument(
+        "--out-dir",
+        required=True,
+        help="shared chunk store (all fleet workers point at the same one)",
+    )
+    fleet_sweep.add_argument(
+        "--cache-dir", help="shared on-disk split-verdict cache"
+    )
+    fleet_sweep.add_argument(
+        "--chunk-size", type=int, default=32, help="(n, p, q) items per chunk"
+    )
+    fleet_sweep.add_argument(
+        "--at-most",
+        action="store_true",
+        help="accept any diameter <= D instead of exactly D",
+    )
+    _add_lease_args(fleet_sweep)
+
+    fleet_sim = fleet_sub.add_parser(
+        "sim", help="replica-simulation chunks under fleet leases"
+    )
+    fleet_sim.add_argument("-p", type=int, required=True, help="OTIS parameter p")
+    fleet_sim.add_argument("-q", type=int, required=True, help="OTIS parameter q")
+    fleet_sim.add_argument("-d", type=int, default=2, help="transceivers per node")
+    fleet_sim.add_argument(
+        "--messages", type=int, default=2000, help="messages per workload instance"
+    )
+    fleet_sim.add_argument(
+        "--seeds", type=int, default=3, help="seeds per (workload, rate) point"
+    )
+    fleet_sim.add_argument(
+        "--workloads",
+        nargs="+",
+        default=["uniform"],
+        choices=["uniform", "hotspot", "permutation"],
+    )
+    fleet_sim.add_argument("--rates", nargs="*", type=float, default=None)
+    fleet_sim.add_argument(
+        "--router",
+        choices=["auto", "dense", "closed-form", "lru"],
+        default="auto",
+    )
+    fleet_sim.add_argument(
+        "--out-dir",
+        required=True,
+        help="shared replica chunk store (all fleet workers point at it)",
+    )
+    fleet_sim.add_argument(
+        "--chunk-size", type=int, default=4, help="replicas per chunk"
+    )
+    fleet_sim.add_argument(
+        "--json",
+        metavar="PATH",
+        help="with --merge: merge the curves into a JSON file "
+        "(BENCH_*.json files are bench-checked afterwards)",
+    )
+    _add_lease_args(fleet_sim)
+
+    fleet_sub.add_parser(
+        "smoke", help="same as --smoke: tiny end-to-end fleet exercise"
+    )
     return parser
 
 
@@ -359,26 +497,16 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     return 0 if parity_ok else 1
 
 
-def _cmd_sim_sharded(args: argparse.Namespace, graph, rates) -> int:
-    """``repro sim --out-dir ...``: replicas as resumable sharded chunks."""
-    import time as _time
+def _build_sim_study(args: argparse.Namespace, graph, rates):
+    """``(combos, traffics, link, manifest)`` for a sharded/fleet sim study.
 
-    from repro.otis.sweep import ChunkStore
+    Shared by ``repro sim --out-dir`` and ``repro fleet sim`` so both derive
+    the same deterministic chunk ids from the same CLI parameters.
+    """
     from repro.simulation.network import LinkModel
-    from repro.simulation.sharding import (
-        ReplicaChunkManifest,
-        merge_replica_stats,
-        run_replica_shard,
-    )
-    from repro.simulation.workloads import (
-        assemble_throughput_sweep,
-        sweep_combos,
-        sweep_traffics,
-    )
+    from repro.simulation.sharding import ReplicaChunkManifest
+    from repro.simulation.workloads import sweep_combos, sweep_traffics
 
-    if args.engine != "batched":
-        print("sharded mode always uses the batched engine", file=sys.stderr)
-        return 2
     combos = sweep_combos(tuple(args.workloads), rates, range(args.seeds))
     traffics = sweep_traffics(graph.num_vertices, combos, args.messages)
     link = LinkModel()
@@ -389,6 +517,21 @@ def _cmd_sim_sharded(args: argparse.Namespace, graph, rates) -> int:
         router=args.router,
         chunk_size=args.chunk_size,
     )
+    return combos, traffics, link, manifest
+
+
+def _cmd_sim_sharded(args: argparse.Namespace, graph, rates) -> int:
+    """``repro sim --out-dir ...``: replicas as resumable sharded chunks."""
+    import time as _time
+
+    from repro.otis.sweep import ChunkStore
+    from repro.simulation.sharding import merge_replica_stats, run_replica_shard
+    from repro.simulation.workloads import assemble_throughput_sweep
+
+    if args.engine != "batched":
+        print("sharded mode always uses the batched engine", file=sys.stderr)
+        return 2
+    combos, traffics, link, manifest = _build_sim_study(args, graph, rates)
     store = ChunkStore(args.out_dir)
     print(
         f"{graph.name}: {len(combos)} replicas x {args.messages} messages in "
@@ -512,8 +655,249 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_kwargs(args: argparse.Namespace) -> dict:
+    """The ``run_fleet`` keyword arguments shared by fleet sweep/sim."""
+    return dict(
+        worker_id=args.worker_id,
+        ttl=args.ttl,
+        heartbeat=args.heartbeat,
+        wait=not args.no_wait,
+        max_chunks=args.max_chunks,
+    )
+
+
+def _fleet_watch(job, args: argparse.Namespace) -> int:
+    """``--watch``: print status snapshots until the store completes."""
+    import time as _time
+
+    from repro.fleet import fleet_status, format_status
+
+    while True:
+        status = fleet_status(job, ttl=args.ttl)
+        try:
+            summary = job.progress_summary()
+        except (OSError, ValueError):
+            summary = ""
+        print(format_status(status, summary=summary), flush=True)
+        if status["done"]:
+            return 0
+        _time.sleep(args.interval)
+
+
+def _print_fleet_outcome(outcome: dict, job) -> None:
+    complete = job.store.completed_ids() & {c.chunk_id for c in job.chunks()}
+    line = (
+        f"worker {outcome['worker']}: ran {len(outcome['ran'])} chunks; "
+        f"store {outcome['store']}: {len(complete)}/{outcome['chunks']} "
+        "chunks complete"
+    )
+    if outcome["lost"]:
+        line += f"; {len(outcome['lost'])} lease(s) lost mid-run (reclaimed)"
+    print(line)
+
+
+def _bench_check_after_merge(json_path: str) -> int:
+    """Gate a fleet merge that rewrote a ``BENCH_*.json`` trajectory file.
+
+    Returns the number of wall-time regressions found (0 for non-BENCH
+    paths or files with no committed baseline).
+    """
+    from pathlib import Path
+
+    from repro.analysis.bench_check import REGRESSION_FACTOR, check_file
+
+    if not Path(json_path).name.startswith("BENCH_"):
+        return 0
+    regressions = check_file(json_path)
+    if regressions:
+        print(
+            f"bench-check: {len(regressions)} wall-time regression(s) "
+            f"> {REGRESSION_FACTOR}x after fleet merge:",
+            file=sys.stderr,
+        )
+        for message in regressions:
+            print(f"  {message}", file=sys.stderr)
+    else:
+        print(f"bench-check: {Path(json_path).name} shows no regression")
+    return len(regressions)
+
+
+def _fleet_sweep(args: argparse.Namespace) -> int:
+    from repro.fleet import SweepFleetJob, run_fleet
+    from repro.otis.search import PAPER_TABLE1, compare_with_paper
+    from repro.otis.sweep import ChunkManifest, ChunkStore
+
+    if args.n_min < 1 or args.n_max < args.n_min:
+        print("need 1 <= --n-min <= --n-max", file=sys.stderr)
+        return 2
+    manifest = ChunkManifest.build(
+        args.d,
+        args.diameter,
+        range(args.n_min, args.n_max + 1),
+        require_exact=not args.at_most,
+        chunk_size=args.chunk_size,
+    )
+    job = SweepFleetJob(
+        manifest, ChunkStore(args.out_dir), cache=args.cache_dir
+    )
+    print(job.describe())
+    if args.watch:
+        return _fleet_watch(job, args)
+    if args.merge:
+        try:
+            result = job.merge()
+        except FileNotFoundError as error:
+            print(f"merge failed: {error}", file=sys.stderr)
+            return 1
+        print(result.as_table())
+        if args.diameter in PAPER_TABLE1 and not args.at_most:
+            report = compare_with_paper(result)
+            print(f"paper rows in range reproduced: {report['all_match']}")
+        return 0
+    outcome = run_fleet(job, **_fleet_kwargs(args))
+    _print_fleet_outcome(outcome, job)
+    return 0
+
+
+def _fleet_sim(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.fleet import SimFleetJob, run_fleet
+    from repro.otis.h_digraph import h_digraph
+    from repro.otis.sweep import ChunkStore
+    from repro.simulation.workloads import assemble_throughput_sweep
+
+    graph = h_digraph(args.p, args.q, args.d)
+    rates = tuple(args.rates) if args.rates else (None,)
+    combos, traffics, link, manifest = _build_sim_study(args, graph, rates)
+    job = SimFleetJob(manifest, ChunkStore(args.out_dir), graph, traffics)
+    print(job.describe())
+    if args.watch:
+        return _fleet_watch(job, args)
+    if args.merge:
+        start = _time.perf_counter()
+        try:
+            stats = job.merge()
+        except FileNotFoundError as error:
+            print(f"merge failed: {error}", file=sys.stderr)
+            return 1
+        sweep = assemble_throughput_sweep(
+            graph,
+            combos,
+            traffics,
+            stats,
+            engine="batched",
+            link=link,
+            wall_time_s=_time.perf_counter() - start,
+        )
+        _print_sweep_curves(sweep)
+        if args.json:
+            key = f"sweep_H({args.p},{args.q},{args.d})_fleet"
+            entry = sweep.to_json()
+            # As in the sharded merge: the fold never timed the simulation.
+            entry.pop("wall_time_s", None)
+            entry["merge_wall_time_s"] = round(sweep.wall_time_s, 4)
+            path = merge_bench_json(args.json, key, entry)
+            print(f"wrote {path}")
+            if _bench_check_after_merge(str(path)):
+                return 1
+        return 0
+    outcome = run_fleet(job, **_fleet_kwargs(args))
+    _print_fleet_outcome(outcome, job)
+    return 0
+
+
+def _fleet_smoke(args: argparse.Namespace) -> int:
+    """Tiny end-to-end fleet exercise: claim → run → reclaim → merge, both
+    backends, asserting byte-identical merges against the serial paths."""
+    import os
+    import tempfile
+    import time as _time
+    from pathlib import Path
+
+    from repro.fleet import LeaseManager, SimFleetJob, SweepFleetJob, run_fleet
+    from repro.otis.h_digraph import h_digraph
+    from repro.otis.search import degree_diameter_search
+    from repro.otis.sweep import ChunkManifest, ChunkStore
+    from repro.simulation.network import BatchedNetworkSimulator, LinkModel
+    from repro.simulation.sharding import ReplicaChunkManifest
+    from repro.simulation.workloads import make_workload
+
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-smoke-") as base_str:
+        base = Path(base_str)
+
+        manifest = ChunkManifest.build(2, 6, range(62, 67), chunk_size=4)
+        job = SweepFleetJob(
+            manifest, ChunkStore(base / "sweep"), cache=base / "cache"
+        )
+        # Plant an already-expired foreign lease on the first chunk: the
+        # worker must reclaim it, exercising the crashed-owner path.
+        leases = LeaseManager(job.store.directory / "leases", ttl=5.0)
+        stale = leases.try_acquire(
+            manifest.chunks[0].chunk_id, worker="smoke-crashed-worker"
+        )
+        backdated = _time.time() - 3600
+        os.utime(stale.path, (backdated, backdated))
+        outcome = run_fleet(job, ttl=5.0, heartbeat=1.0)
+        reclaimed = manifest.chunks[0].chunk_id in outcome["ran"]
+        merged = job.merge()
+        direct = degree_diameter_search(2, 6, 62, 66)
+        sweep_ok = merged.rows == direct.rows and reclaimed
+        print(
+            f"sweep backend: {len(outcome['ran'])} chunks via leases, "
+            f"expired lease reclaimed: {reclaimed}, "
+            f"merge identical to serial search: {merged.rows == direct.rows}"
+        )
+
+        graph = h_digraph(4, 8, 2)
+        link = LinkModel()
+        traffics = [
+            make_workload("uniform", graph.num_vertices, 30, rng=seed)
+            for seed in range(4)
+        ]
+        sim_manifest = ReplicaChunkManifest.build(
+            graph, traffics, link=link, chunk_size=2
+        )
+        sim_job = SimFleetJob(
+            sim_manifest, ChunkStore(base / "sim"), graph, traffics
+        )
+        sim_outcome = run_fleet(sim_job, ttl=5.0, heartbeat=1.0)
+        stats = sim_job.merge()
+        expected = [
+            s
+            for s, _ in BatchedNetworkSimulator(graph, link=link).run_many(
+                traffics, return_messages=False
+            )
+        ]
+        sim_ok = stats == expected and sim_outcome["complete"]
+        print(
+            f"sim backend: {len(sim_outcome['ran'])} chunks via leases, "
+            f"merge identical to in-process run_many: {stats == expected}"
+        )
+    ok = sweep_ok and sim_ok
+    print(f"fleet smoke: {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    command = getattr(args, "fleet_command", None)
+    if args.smoke or command == "smoke":
+        return _fleet_smoke(args)
+    if command == "sweep":
+        return _fleet_sweep(args)
+    if command == "sim":
+        return _fleet_sim(args)
+    print(
+        "fleet needs a mode: fleet sweep ..., fleet sim ..., or fleet --smoke",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.otis.sweep import StoreIdentityError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {
@@ -524,8 +908,13 @@ def main(argv: list[str] | None = None) -> int:
         "figure": _cmd_figure,
         "sim": _cmd_sim,
         "sweep": _cmd_sweep,
+        "fleet": _cmd_fleet,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except StoreIdentityError as error:
+        print(f"store identity mismatch: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

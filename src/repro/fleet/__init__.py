@@ -1,0 +1,53 @@
+"""Lease-based fleet driver: auto-assigned sweep/sim chunks on a shared dir.
+
+``repro sweep --shard i/k`` and ``repro sim --shard i/k`` split work
+*statically*: every host must be told its index, a crashed host's shard
+simply never finishes, and a fast host idles while a slow one grinds.  This
+package replaces the hand-rolled shard loops with **dynamic self-assignment**
+in the work-stealing spirit of the Bobpp framework (PAPERS.md): any number of
+worker processes — same host, or many hosts on a shared filesystem — point at
+one ``--out-dir`` and claim chunks through atomic lease files with a TTL.
+
+* :mod:`repro.fleet.leases` — the claim protocol.  A lease is a file created
+  with ``os.open(..., O_CREAT | O_EXCL)`` (the POSIX mutual-exclusion
+  primitive that also works over NFS v3+), refreshed by heartbeat ``mtime``
+  touches, and reclaimable by any worker once its mtime is older than the
+  TTL (crashed owner).
+* :mod:`repro.fleet.driver` — :class:`~repro.fleet.driver.FleetJob` adapts a
+  chunk backend (the degree–diameter sweep of :mod:`repro.otis.sweep`, the
+  replica simulation of :mod:`repro.simulation.sharding`) to one claim →
+  run → publish → release loop, :func:`~repro.fleet.driver.run_fleet`.
+* :mod:`repro.fleet.status` — live progress/heartbeat snapshots over a store
+  (who holds what, for how long, how much is done), the ``--watch`` view.
+
+The CLI front-end is ``python -m repro fleet sweep ...`` / ``fleet sim ...``
+(plus ``fleet smoke``, a seconds-long end-to-end exercise of the whole
+claim → run → reclaim → merge cycle).  Merges are byte-identical to the
+serial paths — the leases only decide *who* runs a chunk, never what it
+computes.
+"""
+
+from repro.fleet.driver import (
+    DEFAULT_HEARTBEAT_FRACTION,
+    DEFAULT_TTL,
+    FleetJob,
+    SimFleetJob,
+    SweepFleetJob,
+    run_fleet,
+)
+from repro.fleet.leases import Lease, LeaseInfo, LeaseManager
+from repro.fleet.status import fleet_status, format_status
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_FRACTION",
+    "DEFAULT_TTL",
+    "FleetJob",
+    "SweepFleetJob",
+    "SimFleetJob",
+    "run_fleet",
+    "Lease",
+    "LeaseInfo",
+    "LeaseManager",
+    "fleet_status",
+    "format_status",
+]

@@ -1,0 +1,322 @@
+"""The fleet loop: claim a chunk, run it, publish it, release, repeat.
+
+:class:`FleetJob` is the small protocol that makes the two chunk backends —
+the degree–diameter sweep (:mod:`repro.otis.sweep`) and the replica
+simulation (:mod:`repro.simulation.sharding`) — interchangeable under one
+driver.  A job owns a manifest (the named chunks), a
+:class:`~repro.otis.sweep.ChunkStore` (the published results) and knows how
+to compute one chunk's records; :func:`run_fleet` supplies everything else:
+store-identity verification, lease claiming with TTL/heartbeat, reclaim of
+crashed workers' chunks, and termination once every chunk is published.
+
+The driver adds **no semantics** to the results: a chunk's records are the
+same bytes whether the serial path, a ``--shard i/k`` run or a fleet worker
+computed them (chunk computations are pure, publication is one atomic
+rename), so fleet merges are byte-identical to serial merges — the property
+every test in ``tests/test_fleet.py`` pins down.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+import uuid
+from pathlib import Path
+
+from repro.fleet.leases import Heartbeat, LeaseManager
+from repro.otis.sweep import (
+    ChunkManifest,
+    ChunkStore,
+    SplitVerdictCache,
+    SweepChunk,
+    ensure_store_identity,
+    merge_sweep,
+)
+from repro.otis.sweep import run_chunk as _run_sweep_chunk
+
+__all__ = [
+    "DEFAULT_TTL",
+    "DEFAULT_HEARTBEAT_FRACTION",
+    "LEASE_DIR_NAME",
+    "FleetJob",
+    "SweepFleetJob",
+    "SimFleetJob",
+    "run_fleet",
+    "default_worker_id",
+]
+
+#: Default lease TTL in seconds.  Generous against scheduler/NFS hiccups yet
+#: short enough that a crashed worker's chunk is reclaimed within a minute.
+DEFAULT_TTL = 60.0
+
+#: Heartbeat interval as a fraction of the TTL: four beats per TTL window,
+#: so one lost beat (GC pause, NFS retry) never looks like a death.
+DEFAULT_HEARTBEAT_FRACTION = 0.25
+
+#: Subdirectory of the chunk store holding the lease files.
+LEASE_DIR_NAME = "leases"
+
+
+def default_worker_id() -> str:
+    """A worker id unique across hosts and restarts (host-pid-nonce)."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+class FleetJob:
+    """One fleet-drivable workload: a manifest of chunks over a store.
+
+    Subclasses bind a concrete backend.  ``manifest`` must expose
+    ``chunks`` (a tuple of :class:`~repro.otis.sweep.SweepChunk`) and
+    ``identity()`` (the ``manifest.json`` payload); ``run_chunk`` must be a
+    pure function of the chunk — the driver may execute it on any worker,
+    more than once across reclaims, and relies on every execution producing
+    identical records.
+    """
+
+    manifest = None
+    store: ChunkStore = None  # type: ignore[assignment]
+
+    def chunks(self) -> tuple[SweepChunk, ...]:
+        return self.manifest.chunks
+
+    def identity(self) -> dict:
+        return self.manifest.identity()
+
+    def run_chunk(self, chunk: SweepChunk) -> list[dict]:
+        raise NotImplementedError
+
+    def merge(self):
+        """Fold the completed store into the backend's final result."""
+        raise NotImplementedError
+
+    def progress_summary(self) -> str:
+        """One human line of domain progress (shown by ``--watch``)."""
+        return ""
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}: {len(self.chunks())} chunks"
+
+
+class SweepFleetJob(FleetJob):
+    """Degree–diameter sweep chunks (:mod:`repro.otis.sweep`) as a fleet job.
+
+    ``cache`` is the optional :class:`~repro.otis.sweep.SplitVerdictCache`
+    directory shared by the fleet: each worker appends fresh verdicts with
+    single ``O_APPEND`` writes, so any number of workers share one cache
+    file safely.
+    """
+
+    def __init__(
+        self,
+        manifest: ChunkManifest,
+        store: ChunkStore | str | Path,
+        *,
+        cache: SplitVerdictCache | str | Path | None = None,
+    ):
+        self.manifest = manifest
+        self.store = store if isinstance(store, ChunkStore) else ChunkStore(store)
+        if isinstance(cache, SplitVerdictCache):
+            self._cache = cache
+        elif cache is not None:
+            self._cache = SplitVerdictCache(
+                cache, manifest.d, manifest.diameter, version=manifest.code_version
+            )
+        else:
+            self._cache = None
+
+    def run_chunk(self, chunk: SweepChunk) -> list[dict]:
+        payload = (
+            self.manifest.d,
+            self.manifest.diameter,
+            chunk.items,
+            None,
+            self.manifest.code_version,
+        )
+        return _run_sweep_chunk(payload, cache=self._cache)
+
+    def merge(self):
+        return merge_sweep(self.manifest, self.store)
+
+    def progress_summary(self) -> str:
+        # The merge_sweep(partial=True) fold, but strictly read-only (no
+        # identity write): status readers must never mutate the store.
+        from repro.otis.sweep import fold_records
+
+        complete = self.store.completed_ids()
+        records: list[dict] = []
+        for chunk in self.chunks():
+            if chunk.chunk_id in complete:
+                records.extend(self.store.read(chunk))
+        partial = fold_records(self.manifest, records)
+        splits = sum(len(entries) for _, entries in partial.rows)
+        return (
+            f"d={self.manifest.d} D={self.manifest.diameter}: "
+            f"{len(partial.rows)} table rows ({splits} splits) so far"
+        )
+
+    def describe(self) -> str:
+        return (
+            f"sweep d={self.manifest.d} D={self.manifest.diameter} "
+            f"n={self.manifest.n_values[0]}..{self.manifest.n_values[-1]}: "
+            f"{len(self.chunks())} chunks "
+            f"(code version {self.manifest.code_version})"
+        )
+
+
+class SimFleetJob(FleetJob):
+    """Replica-simulation chunks (:mod:`repro.simulation.sharding`) as a job.
+
+    The supplied traffics are verified against the manifest's digests once,
+    up front — the fleet must never simulate messages other than the ones
+    the chunk ids were derived from.
+    """
+
+    def __init__(self, manifest, store: ChunkStore | str | Path, graph, traffics):
+        from repro.simulation.sharding import verify_traffics
+
+        self.manifest = manifest
+        self.store = store if isinstance(store, ChunkStore) else ChunkStore(store)
+        self.graph = graph
+        self._arrays = verify_traffics(manifest, traffics)
+
+    def run_chunk(self, chunk: SweepChunk) -> list[dict]:
+        from repro.simulation.sharding import _run_replica_chunk
+
+        payload = (
+            self.graph,
+            self.manifest.link,
+            self.manifest.router,
+            [(index, self._arrays[index]) for index, _ in chunk.items],
+        )
+        return _run_replica_chunk(payload)
+
+    def merge(self):
+        from repro.simulation.sharding import merge_replica_stats
+
+        return merge_replica_stats(self.manifest, self.store)
+
+    def progress_summary(self) -> str:
+        complete = self.store.completed_ids()
+        replicas = sum(
+            len(chunk.items)
+            for chunk in self.chunks()
+            if chunk.chunk_id in complete
+        )
+        return f"{replicas}/{self.manifest.num_replicas} replicas simulated"
+
+    def describe(self) -> str:
+        return (
+            f"sim {self.graph.name}: {self.manifest.num_replicas} replicas in "
+            f"{len(self.chunks())} chunks (router {self.manifest.router}, "
+            f"code version {self.manifest.code_version})"
+        )
+
+
+def run_fleet(
+    job: FleetJob,
+    *,
+    worker_id: str | None = None,
+    ttl: float = DEFAULT_TTL,
+    heartbeat: float | None = None,
+    wait: bool = True,
+    poll: float | None = None,
+    max_chunks: int | None = None,
+) -> dict:
+    """Drive a fleet worker over a job until every chunk is published.
+
+    Parameters
+    ----------
+    job:
+        The workload.  Any number of ``run_fleet`` processes may drive the
+        same job concurrently — chunk assignment is dynamic, through the
+        lease files under ``<store>/leases/``.
+    worker_id:
+        Identity written into lease files (diagnostics only; defaults to
+        ``host-pid-nonce``).
+    ttl:
+        Lease expiry in seconds.  **A protocol constant of the out-dir**:
+        every cooperating worker must use the same value.
+    heartbeat:
+        Lease refresh interval while computing a chunk (default
+        ``ttl * 0.25``).  Must be well below ``ttl``.
+    wait:
+        When True (default), a worker that finds every remaining chunk
+        leased by live peers polls until the store completes — so it also
+        picks up chunks whose owners crash later.  False returns as soon as
+        nothing is claimable (used by tests and one-shot helpers).
+    poll:
+        Re-scan interval while waiting (default ``ttl / 4``, clamped to
+        [0.05, 2.0] seconds).
+    max_chunks:
+        Stop after running this many chunks (smoke tests, draining).
+
+    Returns
+    -------
+    dict with the worker id, ``ran`` / ``lost`` chunk-id lists (``lost`` =
+    computed but not published because the lease expired mid-run and another
+    worker reclaimed it), and ``complete`` (whether the whole store finished).
+    """
+    if heartbeat is None:
+        heartbeat = ttl * DEFAULT_HEARTBEAT_FRACTION
+    if not 0 < heartbeat < ttl:
+        raise ValueError("need 0 < heartbeat < ttl")
+    if poll is None:
+        poll = min(2.0, max(0.05, ttl / 4.0))
+    worker = worker_id or default_worker_id()
+    ensure_store_identity(job.store, job.identity())
+    leases = LeaseManager(job.store.directory / LEASE_DIR_NAME, ttl=ttl)
+    ran: list[str] = []
+    lost: list[str] = []
+    while True:
+        claimed_any = False
+        # One directory listing per pass instead of a stat per chunk — on a
+        # many-thousand-chunk store over NFS the difference is thousands of
+        # round-trips every poll interval.  The snapshot may be stale by the
+        # time a chunk is claimed, hence the authoritative per-chunk
+        # is_complete re-check under the freshly held lease below.
+        published = job.store.completed_ids()
+        for chunk in job.chunks():
+            if max_chunks is not None and len(ran) >= max_chunks:
+                break
+            if chunk.chunk_id in published:
+                continue
+            lease = leases.try_acquire(chunk.chunk_id, worker=worker)
+            if lease is None:
+                continue
+            try:
+                if job.store.is_complete(chunk):
+                    continue  # published between our scan and claim
+                with Heartbeat(lease, interval=heartbeat):
+                    records = job.run_chunk(chunk)
+                if lease.owned():
+                    job.store.write(chunk, records)
+                    ran.append(chunk.chunk_id)
+                else:
+                    # The lease expired mid-run (this worker stalled past the
+                    # TTL) and was reclaimed: the reclaimer owns publication
+                    # now.  Discard our records — publishing over a fresher
+                    # claim would race the reclaimer's execution of the same
+                    # chunk.
+                    lost.append(chunk.chunk_id)
+                claimed_any = True
+            finally:
+                lease.release()
+        published = job.store.completed_ids()
+        if all(chunk.chunk_id in published for chunk in job.chunks()):
+            break
+        if max_chunks is not None and len(ran) >= max_chunks:
+            break
+        if not claimed_any:
+            if not wait:
+                break
+            time.sleep(poll)
+    published = job.store.completed_ids()
+    return {
+        "worker": worker,
+        "ran": ran,
+        "lost": lost,
+        "complete": all(chunk.chunk_id in published for chunk in job.chunks()),
+        "chunks": len(job.chunks()),
+        "store": str(job.store.directory),
+    }

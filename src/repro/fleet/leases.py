@@ -1,0 +1,275 @@
+"""Atomic lease files with a TTL: the fleet's chunk-claim protocol.
+
+A lease is ownership of one chunk id, materialised as a file in the store's
+``leases/`` directory.  The protocol rests on three POSIX guarantees that
+hold on local filesystems and on NFS (v3 and later):
+
+* ``os.open(path, O_CREAT | O_EXCL)`` fails for every process but one —
+  **claiming is atomic**, two workers can never both acquire a chunk;
+* ``os.utime`` updates the file's mtime — **heartbeats are cheap**, one
+  syscall per refresh, and any observer can judge liveness from ``stat``;
+* ``os.replace``/``os.unlink`` are atomic — releases and reclaims never
+  expose half-states.
+
+A lease whose mtime is older than the TTL belongs to a worker presumed dead
+(killed, wedged, unplugged).  Reclaiming it safely needs care: two workers
+that both notice the expiry must not both tear it down and then both think
+they cleared the way.  The reclaim therefore goes through a second
+``O_EXCL`` file, the *reclaim guard*: only the guard's creator may unlink
+the stale lease (re-checking staleness under the guard first), and after the
+guard is dropped every worker races the ordinary ``O_EXCL`` claim again —
+exactly one wins.  A guard whose own mtime exceeds the TTL marks a reclaimer
+that crashed mid-reclaim and is removed the same way.
+
+What the TTL can and cannot promise: a worker that is merely *stalled*
+longer than the TTL (not dead) loses its lease to a reclaimer and may still
+be computing.  Its heartbeat detects the theft (the lease file's token no
+longer matches) and the driver then discards the stale worker's result
+instead of publishing it — and even in the worst interleaving, chunk
+results are deterministic and published by atomic rename, so a double
+*computation* can never produce divergent on-disk bytes.  Choose the TTL
+an order of magnitude above the heartbeat interval (the driver defaults to
+``ttl / 4``) and above worst-case scheduler/NFS hiccups.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["LeaseInfo", "Lease", "LeaseManager", "Heartbeat"]
+
+
+@dataclass(frozen=True)
+class LeaseInfo:
+    """Snapshot of one lease file (the ``--watch`` view)."""
+
+    chunk_id: str
+    worker: str
+    pid: int
+    host: str
+    age_s: float
+    expired: bool
+
+
+class Lease:
+    """An acquired lease: refresh it, verify it, release it.
+
+    ``token`` is a per-acquisition UUID written into the file; it is what
+    distinguishes *our* lease from a successor created after a reclaim, so
+    a stalled worker can detect that it lost ownership instead of publishing
+    over a reclaimer's work.
+    """
+
+    def __init__(self, path: Path, chunk_id: str, token: str, worker: str):
+        self.path = path
+        self.chunk_id = chunk_id
+        self.token = token
+        self.worker = worker
+        self.lost = False
+
+    def owned(self) -> bool:
+        """Re-read the lease file: is it still ours?
+
+        False once the file vanished or carries another worker's token
+        (both mean the TTL expired and someone reclaimed the chunk).
+        """
+        if self.lost:
+            return False
+        try:
+            record = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            self.lost = True
+            return False
+        if record.get("token") != self.token:
+            self.lost = True
+            return False
+        return True
+
+    def refresh(self) -> bool:
+        """Heartbeat: bump the lease mtime; False when ownership was lost."""
+        if not self.owned():
+            return False
+        try:
+            os.utime(self.path, None)
+        except OSError:
+            self.lost = True
+            return False
+        return True
+
+    def release(self) -> None:
+        """Drop the lease (only when still ours — never a successor's)."""
+        if not self.owned():
+            return
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+class LeaseManager:
+    """Claim, inspect and reclaim the leases of one store directory.
+
+    All cooperating fleet workers must use the same ``ttl`` — the TTL is a
+    *protocol constant* of the out-dir, not a per-worker preference: a
+    worker judging expiry with a shorter TTL than the owners' heartbeat
+    budget would steal live leases.
+    """
+
+    def __init__(self, directory: str | Path, *, ttl: float):
+        if ttl <= 0:
+            raise ValueError("ttl must be positive (seconds)")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.ttl = float(ttl)
+
+    # ------------------------------------------------------------- helpers
+    def path_for(self, chunk_id: str) -> Path:
+        return self.directory / f"{chunk_id}.lease"
+
+    def _age(self, path: Path) -> float | None:
+        """Seconds since the file's last heartbeat, or None when gone."""
+        try:
+            return max(0.0, time.time() - path.stat().st_mtime)
+        except OSError:
+            return None
+
+    def _expired(self, path: Path) -> bool:
+        age = self._age(path)
+        return age is not None and age > self.ttl
+
+    # ------------------------------------------------------------ claiming
+    def try_acquire(self, chunk_id: str, *, worker: str) -> Lease | None:
+        """One attempt to claim ``chunk_id``; None when someone holds it.
+
+        Never blocks: a live foreign lease returns None immediately, an
+        expired one is broken (via the reclaim guard) and the claim retried
+        once — losing that race also returns None, and the driver simply
+        moves on to the next chunk.
+        """
+        path = self.path_for(chunk_id)
+        for attempt in range(2):
+            lease = self._create(path, chunk_id, worker)
+            if lease is not None:
+                return lease
+            if attempt == 0 and self._expired(path) and not self._break(path):
+                return None
+            if attempt == 0 and path.exists() and not self._expired(path):
+                return None
+        return None
+
+    def _create(self, path: Path, chunk_id: str, worker: str) -> Lease | None:
+        token = uuid.uuid4().hex
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            return None
+        record = {
+            "chunk": chunk_id,
+            "worker": worker,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "token": token,
+            "acquired_unix": time.time(),
+        }
+        try:
+            os.write(fd, (json.dumps(record) + "\n").encode())
+        finally:
+            os.close(fd)
+        return Lease(path, chunk_id, token, worker)
+
+    def _break(self, path: Path) -> bool:
+        """Tear down an expired lease; True when the caller cleared it.
+
+        Exactly one contender wins the ``O_EXCL`` creation of the reclaim
+        guard; that winner re-checks the expiry *under the guard* (the owner
+        may have heartbeat in between) and only then unlinks the lease.  A
+        guard left behind by a crashed reclaimer expires on the same TTL.
+        """
+        guard = path.with_suffix(".reclaim")
+        try:
+            fd = os.open(guard, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            if self._expired(guard):  # reclaimer died mid-reclaim
+                try:
+                    os.unlink(guard)
+                except OSError:
+                    pass
+            return False
+        os.close(fd)
+        try:
+            if not self._expired(path):
+                return False
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+            return True
+        finally:
+            try:
+                os.unlink(guard)
+            except OSError:
+                pass
+
+    # ---------------------------------------------------------- inspection
+    def active(self) -> list[LeaseInfo]:
+        """Snapshot every lease file (live and expired), oldest first."""
+        infos = []
+        for path in sorted(self.directory.glob("*.lease")):
+            age = self._age(path)
+            if age is None:
+                continue  # released between glob and stat
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                record = {}
+            infos.append(
+                LeaseInfo(
+                    chunk_id=record.get("chunk", path.stem),
+                    worker=str(record.get("worker", "?")),
+                    pid=int(record.get("pid", -1)),
+                    host=str(record.get("host", "?")),
+                    age_s=age,
+                    expired=age > self.ttl,
+                )
+            )
+        infos.sort(key=lambda info: -info.age_s)
+        return infos
+
+
+class Heartbeat:
+    """Background thread refreshing one lease every ``interval`` seconds.
+
+    The driver starts one around each chunk computation: the worker's main
+    thread is busy simulating/searching, the heartbeat keeps the lease's
+    mtime young so other workers do not reclaim it.  Stops itself the moment
+    a refresh reports lost ownership (the lease's ``lost`` flag then tells
+    the driver not to publish).
+    """
+
+    def __init__(self, lease: Lease, interval: float):
+        if interval <= 0:
+            raise ValueError("heartbeat interval must be positive (seconds)")
+        self.lease = lease
+        self.interval = float(interval)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            if not self.lease.refresh():
+                return
+
+    def __enter__(self) -> "Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join()

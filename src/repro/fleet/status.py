@@ -1,0 +1,66 @@
+"""Progress and heartbeat snapshots over a fleet's shared store.
+
+A status reader stats the chunk files and the lease files; it never claims,
+reclaims or publishes anything, so ``--watch`` can run on a laptop against
+an out-dir that a fleet of other machines is filling.  (Its only side
+effect is creating the directory skeleton when pointed at a path that does
+not exist yet.)
+"""
+
+from __future__ import annotations
+
+from repro.fleet.driver import LEASE_DIR_NAME, FleetJob
+from repro.fleet.leases import LeaseManager
+
+__all__ = ["fleet_status", "format_status"]
+
+
+def fleet_status(job: FleetJob, *, ttl: float) -> dict:
+    """One snapshot of a job's store: completion counts plus live leases.
+
+    ``ttl`` must be the fleet's TTL — it decides which leases count as live
+    heartbeats and which as expired (reclaimable, owner presumed dead).
+    """
+    chunks = job.chunks()
+    complete = job.store.completed_ids() & {chunk.chunk_id for chunk in chunks}
+    leases = LeaseManager(job.store.directory / LEASE_DIR_NAME, ttl=ttl)
+    running = []
+    expired = []
+    for info in leases.active():
+        if info.chunk_id in complete:
+            continue  # released-after-publish race; ignore
+        (expired if info.expired else running).append(info)
+    return {
+        "chunks": len(chunks),
+        "complete": len(complete),
+        "running": running,
+        "expired": expired,
+        "pending": len(chunks) - len(complete) - len(running) - len(expired),
+        "done": len(complete) == len(chunks),
+    }
+
+
+def format_status(status: dict, *, summary: str = "") -> str:
+    """Render one :func:`fleet_status` snapshot as plain text."""
+    lines = [
+        f"chunks: {status['complete']}/{status['chunks']} complete, "
+        f"{len(status['running'])} running, {status['pending']} unclaimed"
+        + (
+            f", {len(status['expired'])} expired lease(s) awaiting reclaim"
+            if status["expired"]
+            else ""
+        )
+    ]
+    for info in status["running"]:
+        lines.append(
+            f"  {info.chunk_id}  held by {info.worker} "
+            f"(heartbeat {info.age_s:.1f}s ago)"
+        )
+    for info in status["expired"]:
+        lines.append(
+            f"  {info.chunk_id}  EXPIRED lease of {info.worker} "
+            f"(last heartbeat {info.age_s:.1f}s ago)"
+        )
+    if summary:
+        lines.append(f"  {summary}")
+    return "\n".join(lines)

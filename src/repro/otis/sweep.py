@@ -40,9 +40,20 @@ On-disk formats (all JSON, one object per line in the ``.jsonl`` files):
   the raw staged verdict of ``h_diameter(h_digraph(p, q, d), upper_bound=D)``
   (``-1`` not strongly connected, ``0..D`` exact diameter, ``D+1`` "too
   large").  Storing the raw verdict keeps the merge free to apply either
-  the exact-diameter or the at-most-diameter filter.
+  the exact-diameter or the at-most-diameter filter.  The final line is a
+  ``{"__chunk_footer__": id, "records": count}`` footer; :meth:`ChunkStore.read`
+  refuses files whose footer is missing or disagrees, so a chunk truncated
+  in transit can never fold partial data into a merge.
+* identity file ``<out_dir>/manifest.json`` — the manifest parameters the
+  store was built for (:meth:`ChunkManifest.identity`), published on first
+  write and verified on every later run/resume/merge
+  (:func:`ensure_store_identity`): relaunching an out-dir with different
+  ``(d, D, n range)``/chunk-size/code fails fast instead of silently
+  matching zero chunks and rerunning everything.
 * cache file ``<cache_dir>/verdicts-d<d>-D<D>-<code_version>.jsonl`` — one
-  record ``{"p": p, "q": q, "verdict": v}`` per memoised split.
+  record ``{"p": p, "q": q, "verdict": v}`` per memoised split, each
+  appended as a single ``O_APPEND`` write so concurrent workers never tear
+  lines.
 
 >>> manifest = ChunkManifest.build(2, 4, [16], chunk_size=2, code_version="v1")
 >>> [chunk.items for chunk in manifest.chunks]
@@ -57,6 +68,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from functools import lru_cache
@@ -72,6 +84,8 @@ __all__ = [
     "make_chunks",
     "ChunkManifest",
     "ChunkStore",
+    "StoreIdentityError",
+    "ensure_store_identity",
     "SplitVerdictCache",
     "run_chunk",
     "run_sweep",
@@ -240,6 +254,30 @@ class ChunkManifest:
             raise ValueError(f"shard index must be in [0, {count}), got {index}")
         return self.chunks[index::count]
 
+    def identity(self) -> dict:
+        """The JSON identity persisted as ``manifest.json`` in a store.
+
+        Every parameter that renames the chunk ids appears here (plus a
+        digest over the ids themselves), so :func:`ensure_store_identity`
+        can fail fast — with the *differing field named* — when a store
+        directory is relaunched, resumed or merged under parameters other
+        than the ones it was built for.
+        """
+        ids = hashlib.sha256(
+            "".join(chunk.chunk_id for chunk in self.chunks).encode()
+        ).hexdigest()[:16]
+        return {
+            "kind": "degree-diameter-sweep",
+            "d": self.d,
+            "diameter": self.diameter,
+            "require_exact": self.require_exact,
+            "n_values": list(self.n_values),
+            "chunk_size": self.chunk_size,
+            "code_version": self.code_version,
+            "num_chunks": len(self.chunks),
+            "chunk_ids_digest": ids,
+        }
+
 
 class ChunkStore:
     """Directory of per-chunk result files with atomic completion.
@@ -249,7 +287,18 @@ class ChunkStore:
     POSIX-atomic, so :meth:`is_complete` (existence of the final name) can
     never observe a half-written chunk.  Killing a sweep mid-chunk leaves at
     worst a ``.tmp-*`` orphan, which resumption ignores and overwrites.
+
+    The last line of every chunk file is a **footer** naming the chunk and
+    its record count.  The atomic rename already guarantees a *locally*
+    written file is complete; the footer extends the guarantee to files that
+    travelled — a chunk truncated by an interrupted ``scp``/``rsync`` between
+    fleet hosts, or tampered with in place, makes :meth:`read` raise instead
+    of silently folding partial data into a merge.
     """
+
+    #: Footer key — no result record uses it, so a footer can never be
+    #: mistaken for data (records are flat parameter/stat objects).
+    FOOTER_KEY = "__chunk_footer__"
 
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
@@ -280,6 +329,8 @@ class ChunkStore:
             with os.fdopen(fd, "w") as handle:
                 for record in records:
                     handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+                footer = {self.FOOTER_KEY: chunk.chunk_id, "records": len(records)}
+                handle.write(json.dumps(footer, separators=(",", ":")) + "\n")
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp_name, target)
@@ -292,9 +343,118 @@ class ChunkStore:
         return target
 
     def read(self, chunk: SweepChunk) -> list[dict]:
-        """The records of a completed chunk (raises when not complete)."""
-        with self.path_for(chunk).open() as handle:
-            return [json.loads(line) for line in handle if line.strip()]
+        """The records of a completed chunk, validated against its footer.
+
+        Raises ``ValueError`` on an unparseable line, a missing/foreign
+        footer, or a record count that disagrees with the footer — any of
+        which means the file is not the chunk :meth:`write` published
+        (truncated in transit, tampered, or written by pre-footer code) and
+        must not be merged.
+        """
+        path = self.path_for(chunk)
+        records: list[dict] = []
+        with path.open() as handle:
+            for number, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    raise ValueError(
+                        f"{path.name}: line {number} is not valid JSON - the "
+                        "chunk file is corrupt; delete it and re-run the chunk"
+                    ) from None
+        if not records or self.FOOTER_KEY not in records[-1]:
+            raise ValueError(
+                f"{path.name}: missing record-count footer - the file is "
+                "truncated (e.g. an interrupted copy) or was written by an "
+                "older version; delete it and re-run the chunk"
+            )
+        footer = records.pop()
+        if footer[self.FOOTER_KEY] != chunk.chunk_id:
+            raise ValueError(
+                f"{path.name}: footer names chunk {footer[self.FOOTER_KEY]!r}, "
+                f"expected {chunk.chunk_id!r} - the file belongs to a "
+                "different chunk"
+            )
+        if footer.get("records") != len(records):
+            raise ValueError(
+                f"{path.name}: holds {len(records)} records but the footer "
+                f"promises {footer.get('records')} - partial chunk payload; "
+                "delete it and re-run the chunk"
+            )
+        return records
+
+
+class StoreIdentityError(RuntimeError):
+    """A store directory's ``manifest.json`` disagrees with the caller's manifest.
+
+    Raised instead of letting a relaunch with different parameters silently
+    match zero completed chunks (and rerun everything) or pile a second,
+    differently named chunk set into the same directory.
+    """
+
+
+#: Name of the identity file :func:`ensure_store_identity` keeps per store.
+STORE_IDENTITY_NAME = "manifest.json"
+
+
+def ensure_store_identity(store: ChunkStore, identity: dict) -> None:
+    """Persist or verify a store directory's manifest identity.
+
+    On the first write into an out-dir the identity (every parameter that
+    renames the chunk ids — see :meth:`ChunkManifest.identity` /
+    :meth:`repro.simulation.sharding.ReplicaChunkManifest.identity`) is
+    published atomically as ``manifest.json``.  Every later run, resume or
+    merge against the same directory must present the same identity;  a
+    mismatch raises :class:`StoreIdentityError` naming the differing fields
+    *before* any work runs.  Concurrent fleet workers race benignly: they
+    derive byte-identical identities, so whichever ``os.replace`` lands last
+    publishes the same content.
+    """
+    path = store.directory / STORE_IDENTITY_NAME
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except ValueError:
+            raise StoreIdentityError(
+                f"{path}: existing identity file is not valid JSON; "
+                "the store directory is corrupt"
+            ) from None
+        if existing != identity:
+            fields = [
+                key
+                for key in sorted(set(existing) | set(identity))
+                if existing.get(key) != identity.get(key)
+            ]
+            detail = ", ".join(
+                f"{key}: store has {existing.get(key)!r}, caller has "
+                f"{identity.get(key)!r}"
+                for key in fields
+            )
+            raise StoreIdentityError(
+                f"{path} does not match the requested manifest ({detail}); "
+                "the store was built with different parameters or code - "
+                "use a fresh --out-dir, or relaunch with the original "
+                "parameters"
+            )
+        return
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=".tmp-manifest-", suffix=".json", dir=store.directory
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(identity, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 class SplitVerdictCache:
@@ -308,11 +468,17 @@ class SplitVerdictCache:
       start cold in a fresh file, so a verdict computed by old code can
       never satisfy a lookup from new code — correctness does not depend on
       anyone remembering to clear a directory;
-    * records are *appended*, one small line per :meth:`put`, so concurrent
-      sweep processes sharing a cache directory interleave whole lines;
-      duplicated entries are harmless (last one wins on load, and verdicts
-      are deterministic so duplicates always agree);
-    * a malformed trailing line (torn write on a crash) is skipped on load.
+    * records are *appended*, each as **one ``os.write`` on an ``O_APPEND``
+      file descriptor**: POSIX serialises same-filesystem ``O_APPEND``
+      writes, so concurrent sweep/fleet processes sharing a ``--cache-dir``
+      interleave whole lines and can never tear each other's records (a
+      buffered text-mode ``open("a")`` offers no such guarantee — its
+      flush may split one line across several writes).  Duplicated entries
+      are harmless (last one wins on load, and verdicts are deterministic
+      so duplicates always agree);
+    * a malformed line (torn write from a crashed or pre-fix writer) is
+      skipped on load — but *counted*, and a :class:`RuntimeWarning` says
+      how many verdicts were dropped instead of silently swallowing them.
 
     ``hits`` / ``misses`` counters are exposed for the cold-vs-warm
     benchmark (``benchmarks/test_sweep_cache.py``).
@@ -343,6 +509,7 @@ class SplitVerdictCache:
     def _load(self) -> None:
         if not self.path.exists():
             return
+        dropped = 0
         with self.path.open() as handle:
             for line in handle:
                 line = line.strip()
@@ -354,7 +521,16 @@ class SplitVerdictCache:
                         record["verdict"]
                     )
                 except (ValueError, KeyError, TypeError):
-                    continue  # torn trailing line from a crashed writer
+                    dropped += 1  # torn line from a crashed writer
+        if dropped:
+            warnings.warn(
+                f"{self.path.name}: dropped {dropped} unparseable cache "
+                "line(s) (torn write from a crashed writer, or a file shared "
+                "with a pre-O_APPEND version); the affected verdicts will be "
+                "recomputed",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -369,15 +545,26 @@ class SplitVerdictCache:
         return verdict
 
     def put(self, p: int, q: int, verdict: int) -> None:
-        """Record a verdict (in memory and appended to the cache file)."""
+        """Record a verdict (in memory and appended to the cache file).
+
+        The record goes to disk as a **single ``os.write``** on an
+        ``O_APPEND`` descriptor: the kernel serialises the seek-to-end and
+        the write, so concurrent shard/fleet workers appending to one cache
+        file emit whole, untorn lines (small writes — a verdict line is tens
+        of bytes, far below any pipe/FS atomicity limit).
+        """
         if (p, q) in self._memory:
             return
         self._memory[(p, q)] = verdict
         line = json.dumps(
             {"p": p, "q": q, "verdict": verdict}, separators=(",", ":")
         )
-        with self.path.open("a") as handle:
-            handle.write(line + "\n")
+        payload = (line + "\n").encode()
+        fd = os.open(self.path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, payload)
+        finally:
+            os.close(fd)
 
 
 def _item_verdict(
@@ -498,6 +685,7 @@ def run_sweep(
     """
     if not isinstance(store, ChunkStore):
         store = ChunkStore(store)
+    ensure_store_identity(store, manifest.identity())
     shard_index, shard_count = shard
     chunks = manifest.shard(shard_index, shard_count)
     todo = []
@@ -565,10 +753,13 @@ def merge_sweep(
     still filling: the completed chunks are folded and the result carries
     only the rows they cover (the CLI's ``--merge --partial`` prints the
     coverage next to the table so a partial report can never masquerade as
-    a finished sweep).
+    a finished sweep).  Raises :class:`StoreIdentityError` before anything
+    else when the store's ``manifest.json`` was written for different
+    parameters.
     """
     if not isinstance(store, ChunkStore):
         store = ChunkStore(store)
+    ensure_store_identity(store, manifest.identity())
     missing = [
         chunk.chunk_id for chunk in manifest.chunks if not store.is_complete(chunk)
     ]

@@ -39,7 +39,13 @@ from pathlib import Path
 import numpy as np
 
 from repro.graphs.digraph import BaseDigraph
-from repro.otis.sweep import ChunkStore, SweepChunk, fingerprint_paths, make_chunks
+from repro.otis.sweep import (
+    ChunkStore,
+    SweepChunk,
+    ensure_store_identity,
+    fingerprint_paths,
+    make_chunks,
+)
 from repro.simulation.network import (
     BatchedNetworkSimulator,
     LinkModel,
@@ -50,6 +56,7 @@ __all__ = [
     "sim_code_version",
     "graph_fingerprint",
     "traffic_digest",
+    "verify_traffics",
     "stats_to_json",
     "stats_from_json",
     "ReplicaChunkManifest",
@@ -210,10 +217,59 @@ class ReplicaChunkManifest:
             raise ValueError(f"shard index must be in [0, {count}), got {index}")
         return self.chunks[index::count]
 
+    def identity(self) -> dict:
+        """The JSON identity persisted as ``manifest.json`` in a store.
+
+        Same contract as :meth:`repro.otis.sweep.ChunkManifest.identity`:
+        every parameter that renames the chunk ids (the traffic digests are
+        covered through the digest over the ids), so a relaunch of an
+        out-dir with a different topology, link timing, router, replica set
+        or simulator code fails fast instead of silently matching nothing.
+        """
+        ids = hashlib.sha256(
+            "".join(chunk.chunk_id for chunk in self.chunks).encode()
+        ).hexdigest()[:16]
+        return {
+            "kind": "run_many-replicas",
+            "graph_fingerprint": self.graph_fp,
+            "link_latency": self.link.latency,
+            "link_transmission_time": self.link.transmission_time,
+            "router": self.router,
+            "num_replicas": self.num_replicas,
+            "chunk_size": self.chunk_size,
+            "code_version": self.code_version,
+            "num_chunks": len(self.chunks),
+            "chunk_ids_digest": ids,
+        }
+
 
 # --------------------------------------------------------------------------
 # Execution
 # --------------------------------------------------------------------------
+def verify_traffics(manifest: ReplicaChunkManifest, traffics) -> list[np.ndarray]:
+    """Check ``traffics`` against a manifest; returns them as float arrays.
+
+    Shared by the shard runner and the fleet driver: both must refuse to
+    simulate messages other than the ones the chunk ids were derived from —
+    a mismatch means the caller is trying to resume a store with different
+    traffic, which would poison the merge.
+    """
+    if len(traffics) != manifest.num_replicas:
+        raise ValueError(
+            f"manifest covers {manifest.num_replicas} replicas, got "
+            f"{len(traffics)} traffics"
+        )
+    arrays = [np.asarray(traffic, dtype=float) for traffic in traffics]
+    for chunk in manifest.chunks:
+        for index, digest in chunk.items:
+            if traffic_digest(arrays[index]) != digest:
+                raise ValueError(
+                    f"traffic of replica {index} does not match the manifest "
+                    "digest (different messages than the store was built for)"
+                )
+    return arrays
+
+
 def _run_replica_chunk(payload) -> list[dict]:
     """Simulate one chunk's replicas; returns one record per replica.
 
@@ -258,23 +314,13 @@ def run_replica_shard(
     """
     if not isinstance(store, ChunkStore):
         store = ChunkStore(store)
-    if len(traffics) != manifest.num_replicas:
-        raise ValueError(
-            f"manifest covers {manifest.num_replicas} replicas, got "
-            f"{len(traffics)} traffics"
-        )
-    arrays = [np.asarray(traffic, dtype=float) for traffic in traffics]
+    ensure_store_identity(store, manifest.identity())
+    arrays = verify_traffics(manifest, traffics)
     shard_index, shard_count = shard
     chunks = manifest.shard(shard_index, shard_count)
     todo = []
     skipped = []
     for chunk in chunks:
-        for index, digest in chunk.items:
-            if traffic_digest(arrays[index]) != digest:
-                raise ValueError(
-                    f"traffic of replica {index} does not match the manifest "
-                    "digest (different messages than the store was built for)"
-                )
         if resume and store.is_complete(chunk):
             skipped.append(chunk.chunk_id)
         else:
@@ -315,10 +361,13 @@ def merge_replica_stats(
     ``[stats for stats, _ in simulator.run_many(traffics,
     return_messages=False)]``; raises ``FileNotFoundError`` naming the
     missing chunk ids when any chunk has not been published (run the
-    remaining shards, or relaunch with ``resume=True``, first).
+    remaining shards, or relaunch with ``resume=True``, first), and
+    :class:`~repro.otis.sweep.StoreIdentityError` before anything else when
+    the store's ``manifest.json`` was written for different parameters.
     """
     if not isinstance(store, ChunkStore):
         store = ChunkStore(store)
+    ensure_store_identity(store, manifest.identity())
     missing = [
         chunk.chunk_id for chunk in manifest.chunks if not store.is_complete(chunk)
     ]

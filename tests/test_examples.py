@@ -16,8 +16,14 @@ EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
 
 def load_example(name):
+    # Register the module and make examples/ importable so examples that
+    # spawn worker processes (fleet_search) stay picklable-by-reference
+    # under the 'spawn' multiprocessing start method, not only under fork.
+    if str(EXAMPLES_DIR) not in sys.path:
+        sys.path.insert(0, str(EXAMPLES_DIR))
     spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
     module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
     spec.loader.exec_module(module)
     return module
 
@@ -53,6 +59,13 @@ class TestExamples:
         assert "B(2,5)" in out
         assert "ring(32)" in out
         assert "verified=True" in out
+
+    def test_fleet_search(self, capsys):
+        load_example("fleet_search").main()
+        out = capsys.readouterr().out
+        assert "no chunk ran twice: True" in out
+        assert "expired lease reclaimed: True" in out
+        assert "fleet merge identical to direct search: True" in out
 
     def test_degree_diameter_search_diameter_8(self, capsys, monkeypatch):
         monkeypatch.setattr(sys, "argv", ["degree_diameter_search.py", "8"])

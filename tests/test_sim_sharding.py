@@ -14,6 +14,7 @@ import numpy as np
 import pytest
 
 from repro.otis.h_digraph import h_digraph
+from repro.otis.sweep import StoreIdentityError
 from repro.simulation.network import BatchedNetworkSimulator, LinkModel
 from repro.simulation.sharding import (
     ReplicaChunkManifest,
@@ -197,14 +198,32 @@ class TestShardedExecution:
 
 
 class TestMergeDiagnostics:
-    def test_orphan_chunks_hint_at_parameter_mismatch(self, tmp_path):
-        # A store filled under one chunk size merged under another must say
-        # the manifest changed, not just "run the remaining shards".
+    def test_identity_mismatch_fails_fast(self, tmp_path):
+        # A store filled under one chunk size, relaunched or merged under
+        # another, must fail on the persisted manifest.json — naming the
+        # differing field — before any simulation or merge work runs.
         traffics = example_traffics(4, messages=40)
         written = ReplicaChunkManifest.build(
             GRAPH, traffics, link=LINK, chunk_size=2
         )
         run_replica_shard(written, tmp_path, GRAPH, traffics)
+        mismatched = ReplicaChunkManifest.build(
+            GRAPH, traffics, link=LINK, chunk_size=3
+        )
+        with pytest.raises(StoreIdentityError, match="chunk_size"):
+            merge_replica_stats(mismatched, tmp_path)
+        with pytest.raises(StoreIdentityError, match="chunk_size"):
+            run_replica_shard(mismatched, tmp_path, GRAPH, traffics, resume=True)
+
+    def test_orphan_chunks_hint_at_parameter_mismatch(self, tmp_path):
+        # Pre-identity-file stores (no manifest.json) still get the orphan
+        # diagnostic instead of just "run the remaining shards".
+        traffics = example_traffics(4, messages=40)
+        written = ReplicaChunkManifest.build(
+            GRAPH, traffics, link=LINK, chunk_size=2
+        )
+        run_replica_shard(written, tmp_path, GRAPH, traffics)
+        os.unlink(tmp_path / "manifest.json")
         mismatched = ReplicaChunkManifest.build(
             GRAPH, traffics, link=LINK, chunk_size=3
         )

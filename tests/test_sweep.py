@@ -19,6 +19,7 @@ from repro.otis.sweep import (
     ChunkManifest,
     ChunkStore,
     SplitVerdictCache,
+    StoreIdentityError,
     code_version,
     merge_sweep,
     run_sweep,
@@ -132,6 +133,56 @@ class TestChunkStore:
         assert not store.is_complete(chunk)
         assert store.completed_ids() == set()
 
+    def test_read_refuses_truncated_chunk(self, tmp_path):
+        # A published file cut short (interrupted copy between hosts) has
+        # lost its footer: read must raise, not fold partial data.
+        manifest = d6_manifest()
+        store = ChunkStore(tmp_path)
+        chunk = manifest.chunks[0]
+        records = [
+            {"n": 60, "p": 2, "q": 60, "verdict": 6},
+            {"n": 60, "p": 4, "q": 30, "verdict": -1},
+        ]
+        store.write(chunk, records)
+        path = store.path_for(chunk)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop the footer
+        with pytest.raises(ValueError, match="footer"):
+            store.read(chunk)
+
+    def test_read_refuses_short_payload_under_intact_footer(self, tmp_path):
+        manifest = d6_manifest()
+        store = ChunkStore(tmp_path)
+        chunk = manifest.chunks[0]
+        store.write(chunk, [{"n": 60, "p": 2, "q": 60, "verdict": 6}] * 3)
+        path = store.path_for(chunk)
+        lines = path.read_text().splitlines()
+        del lines[1]  # lose a record, keep the footer promising 3
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="partial chunk payload"):
+            store.read(chunk)
+
+    def test_read_refuses_foreign_chunk_file(self, tmp_path):
+        # A chunk file renamed (or copied) under another chunk's name is
+        # caught by the footer's chunk id.
+        manifest = d6_manifest()
+        store = ChunkStore(tmp_path)
+        first, second = manifest.chunks[0], manifest.chunks[1]
+        store.write(first, [{"n": 60, "p": 2, "q": 60, "verdict": 6}])
+        os.replace(store.path_for(first), store.path_for(second))
+        with pytest.raises(ValueError, match="different chunk"):
+            store.read(second)
+
+    def test_read_refuses_corrupt_json_line(self, tmp_path):
+        manifest = d6_manifest()
+        store = ChunkStore(tmp_path)
+        chunk = manifest.chunks[0]
+        store.write(chunk, [{"n": 60, "p": 2, "q": 60, "verdict": 6}])
+        path = store.path_for(chunk)
+        path.write_text('{"n": 60, "p": 2, "q"\n' + path.read_text())
+        with pytest.raises(ValueError, match="not valid JSON"):
+            store.read(chunk)
+
 
 class TestSplitVerdictCache:
     def test_miss_then_hit(self, tmp_path):
@@ -161,14 +212,27 @@ class TestSplitVerdictCache:
         assert other_d.get(2, 64) is None
         assert other_D.get(2, 64) is None
 
-    def test_torn_trailing_line_is_skipped(self, tmp_path):
+    def test_torn_trailing_line_is_skipped_with_warning(self, tmp_path):
         cache = SplitVerdictCache(tmp_path, 2, 6, version="test-v1")
         cache.put(2, 64, 6)
         with cache.path.open("a") as handle:
             handle.write('{"p": 4, "q": 32, "verd')  # crash mid-write
-        reopened = SplitVerdictCache(tmp_path, 2, 6, version="test-v1")
+        with pytest.warns(RuntimeWarning, match="dropped 1 unparseable"):
+            reopened = SplitVerdictCache(tmp_path, 2, 6, version="test-v1")
         assert reopened.get(2, 64) == 6
         assert len(reopened) == 1
+
+    def test_put_appends_via_unbuffered_o_append(self, tmp_path):
+        # Each put is one whole line on disk immediately (single O_APPEND
+        # os.write, no buffered handle a crash could leave half-flushed).
+        cache = SplitVerdictCache(tmp_path, 2, 6, version="test-v1")
+        cache.put(2, 64, 6)
+        cache.put(4, 32, 6)
+        lines = cache.path.read_text().splitlines()
+        assert [json.loads(line) for line in lines] == [
+            {"p": 2, "q": 64, "verdict": 6},
+            {"p": 4, "q": 32, "verdict": 6},
+        ]
 
     def test_duplicate_put_is_idempotent(self, tmp_path):
         cache = SplitVerdictCache(tmp_path, 2, 6, version="test-v1")
@@ -210,13 +274,28 @@ class TestSweepParity:
         with pytest.raises(FileNotFoundError, match="chunks incomplete"):
             merge_sweep(manifest, ChunkStore(tmp_path))
 
-    def test_merge_flags_manifest_mismatch_over_full_store(self, tmp_path):
-        # A completed sweep whose chunk ids no longer match (code-version
-        # bump or changed parameters) must not be reported as "run the
-        # remaining shards" — the store is full, just under different names.
+    def test_merge_fails_fast_on_identity_mismatch(self, tmp_path):
+        # A completed sweep relaunched or merged under different parameters
+        # (code-version bump, chunk size, range) must fail fast on the
+        # persisted manifest.json — naming the differing field — instead of
+        # matching zero chunks and pretending the work was never done.
         store = ChunkStore(tmp_path)
         old = d6_manifest(code_version="test-v1")
         run_sweep(old, store)
+        bumped = d6_manifest(code_version="test-v2")
+        with pytest.raises(StoreIdentityError, match="code_version"):
+            merge_sweep(bumped, store)
+        with pytest.raises(StoreIdentityError, match="code_version"):
+            run_sweep(bumped, store, resume=True)
+
+    def test_merge_flags_manifest_mismatch_over_unidentified_store(self, tmp_path):
+        # Stores written before the identity file existed carry no
+        # manifest.json: the merge still refuses with the orphan-chunk
+        # diagnostic instead of "run the remaining shards".
+        store = ChunkStore(tmp_path)
+        old = d6_manifest(code_version="test-v1")
+        run_sweep(old, store)
+        os.unlink(tmp_path / "manifest.json")
         bumped = d6_manifest(code_version="test-v2")
         with pytest.raises(FileNotFoundError, match="different manifest"):
             merge_sweep(bumped, store)
