@@ -14,6 +14,10 @@ the benchmark harness agree on their meaning:
   real Table 1 block).  Opt-in exactly like ``sim``, via ``--run-sweep`` or
   ``-m sweep``; the fast sweep unit tests (manifest determinism, cache
   semantics, small shard-union parity) run unconditionally.
+* ``scenarios`` — throughput–latency Pareto sweeps over composed failure
+  and congestion scenarios (``BENCH_scenarios.json``).  Opt-in via
+  ``--run-scenarios`` or ``-m scenarios``; the fast scenario parity tests
+  in ``tests/test_scenarios.py`` run unconditionally.
 * ``benchcheck`` — compares the working-tree ``BENCH_*.json`` files against
   the committed versions and fails on a >2x wall-time regression of any
   existing key (``repro.analysis.bench_check``).  Opt-in via
@@ -27,6 +31,8 @@ MARKERS = [
     "table1: Table 1 reproduction benchmarks (deselect with -m 'not table1')",
     "sim: slow simulator workload sweeps (opt-in: pass --run-sim or -m sim)",
     "sweep: slow end-to-end sharded-sweep runs (opt-in: pass --run-sweep or -m sweep)",
+    "scenarios: scenario Pareto-curve benchmarks "
+    "(opt-in: pass --run-scenarios or -m scenarios)",
     "benchcheck: BENCH_*.json wall-time regression gate "
     "(opt-in: pass --run-bench-check or -m benchcheck)",
 ]
@@ -35,6 +41,7 @@ MARKERS = [
 _OPT_IN = {
     "sim": "--run-sim",
     "sweep": "--run-sweep",
+    "scenarios": "--run-scenarios",
     "benchcheck": "--run-bench-check",
 }
 
@@ -51,6 +58,12 @@ def pytest_addoption(parser):
         action="store_true",
         default=False,
         help="run the slow 'sweep'-marked end-to-end sharded-sweep tests",
+    )
+    parser.addoption(
+        "--run-scenarios",
+        action="store_true",
+        default=False,
+        help="run the 'scenarios'-marked scenario Pareto-curve benchmarks",
     )
     parser.addoption(
         "--run-bench-check",

@@ -21,12 +21,23 @@ Exposes the reproduction's main entry points without writing any Python:
   ``--resume`` after an interruption, fold the chunk files with ``--merge``
   (``--partial`` for a progress report over an incomplete store), and
   memoise split verdicts across runs with ``--cache-dir``,
+* ``scenarios`` — degraded-mode scenario sweeps on ``H(p, q, d)``
+  (:mod:`repro.simulation.scenarios`): compose an arrival process
+  (``--arrival uniform|hotspot|permutation|bursty|diurnal``), finite link
+  buffers (``--capacity``/``--on-full``), a deterministic fault plan
+  (``--fail-links``/``--fail-at``/``--heal-after``) and a reroute policy
+  (``--reroute arc-disjoint``: deflect onto the alternate arc-disjoint
+  paths), sweep the offered-load axis and print throughput–latency rows
+  with drop/retransmit/reroute counters and Pareto-front flags
+  (``--json`` merges them into e.g. ``BENCH_scenarios.json``),
 * ``fleet``   — the lease-based fleet driver (:mod:`repro.fleet`): workers
   **auto-assign** sweep/sim chunks through atomic TTL leases on a shared
   out-dir (no ``--shard i/k`` bookkeeping, crashed workers' chunks are
   reclaimed).  ``fleet sweep ...`` / ``fleet sim ...`` start a worker,
-  ``--watch`` tails a live progress/heartbeat snapshot, ``--merge`` folds
-  the completed store, and ``fleet --smoke`` runs a seconds-long end-to-end
+  ``--watch`` tails a live progress/heartbeat snapshot, ``fleet status
+  --out-dir ...`` prints a one-shot snapshot of any fleet's store
+  (``--json`` for the machine-readable schema), ``--merge`` folds the
+  completed store, and ``fleet --smoke`` runs a seconds-long end-to-end
   claim → run → reclaim → merge exercise of both backends.
 
 Each subcommand prints plain text to stdout and exits non-zero on failure, so
@@ -109,7 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workloads",
         nargs="+",
         default=["uniform"],
-        choices=["uniform", "hotspot", "permutation"],
+        choices=["uniform", "hotspot", "permutation", "bursty", "diurnal"],
         help="workload kinds to sweep",
     )
     sim.add_argument(
@@ -164,6 +175,112 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="process-pool workers for this shard (sharded mode)",
+    )
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="degraded-mode scenario sweep on H(p, q, d): arrivals x "
+        "buffers x faults x rerouting, with Pareto-front curves",
+    )
+    scenarios.add_argument("-p", type=int, required=True, help="OTIS parameter p")
+    scenarios.add_argument("-q", type=int, required=True, help="OTIS parameter q")
+    scenarios.add_argument("-d", type=int, default=2, help="transceivers per node")
+    scenarios.add_argument(
+        "--arrival",
+        choices=["uniform", "hotspot", "permutation", "bursty", "diurnal"],
+        default="uniform",
+        help="arrival process (the who-sends-to-whom-when layer)",
+    )
+    scenarios.add_argument(
+        "--messages", type=int, default=2000, help="messages per replica"
+    )
+    scenarios.add_argument(
+        "--rates",
+        nargs="*",
+        type=float,
+        default=None,
+        help="offered-load axis of the Pareto curve (arrival-process rates; "
+        "omit for the process defaults)",
+    )
+    scenarios.add_argument(
+        "--seeds", type=int, default=3, help="seeds per rate point"
+    )
+    scenarios.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        help="finite per-link buffer capacity (omit for infinite buffers)",
+    )
+    scenarios.add_argument(
+        "--on-full",
+        choices=["drop", "retry"],
+        default="drop",
+        help="full-buffer policy: drop the message, or back off and retry",
+    )
+    scenarios.add_argument(
+        "--retry-delay",
+        type=float,
+        default=1.0,
+        help="with --on-full retry: backoff before re-attempting the hop",
+    )
+    scenarios.add_argument(
+        "--max-retries",
+        type=int,
+        default=16,
+        help="with --on-full retry: attempts before the message is dropped",
+    )
+    scenarios.add_argument(
+        "--fail-links",
+        type=int,
+        default=0,
+        help="sever that many links (chosen by --fail-seed) at --fail-at",
+    )
+    scenarios.add_argument(
+        "--fail-at",
+        type=float,
+        default=0.0,
+        help="time at which the failed links go down (default 0)",
+    )
+    scenarios.add_argument(
+        "--heal-after",
+        type=float,
+        default=None,
+        help="bring the failed links back up after that many time units",
+    )
+    scenarios.add_argument(
+        "--fail-seed",
+        type=int,
+        default=0,
+        help="seed choosing which links fail (deterministic across hosts)",
+    )
+    scenarios.add_argument(
+        "--reroute",
+        choices=["none", "arc-disjoint"],
+        default="none",
+        help="severed-primary-hop policy: drop, or deflect onto the "
+        "alternate arc-disjoint paths the topologies guarantee",
+    )
+    scenarios.add_argument(
+        "--max-hops",
+        type=int,
+        default=None,
+        help="per-message hop TTL (default: unlimited; 4n under reroute)",
+    )
+    scenarios.add_argument(
+        "--engine",
+        choices=["batched", "event", "both"],
+        default="batched",
+        help="'both' also runs the event-loop reference and checks parity",
+    )
+    scenarios.add_argument(
+        "--router",
+        choices=["auto", "dense", "closed-form", "lru"],
+        default="auto",
+    )
+    scenarios.add_argument(
+        "--json",
+        metavar="PATH",
+        help="merge the sweep into a JSON file (e.g. BENCH_scenarios.json)",
     )
 
     sweep = sub.add_parser(
@@ -320,7 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workloads",
         nargs="+",
         default=["uniform"],
-        choices=["uniform", "hotspot", "permutation"],
+        choices=["uniform", "hotspot", "permutation", "bursty", "diurnal"],
     )
     fleet_sim.add_argument("--rates", nargs="*", type=float, default=None)
     fleet_sim.add_argument(
@@ -343,6 +460,28 @@ def build_parser() -> argparse.ArgumentParser:
         "(BENCH_*.json files are bench-checked afterwards)",
     )
     _add_lease_args(fleet_sim)
+
+    fleet_status_p = fleet_sub.add_parser(
+        "status",
+        help="one-shot store snapshot (no job parameters needed): "
+        "completion counts plus live/expired leases",
+    )
+    fleet_status_p.add_argument(
+        "--out-dir",
+        required=True,
+        help="the fleet's shared chunk store directory",
+    )
+    fleet_status_p.add_argument(
+        "--ttl",
+        type=float,
+        default=60.0,
+        help="the fleet's lease TTL (decides live vs. expired; default 60)",
+    )
+    fleet_status_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable JSON snapshot instead of text",
+    )
 
     fleet_sub.add_parser(
         "smoke", help="same as --smoke: tiny end-to-end fleet exercise"
@@ -494,6 +633,107 @@ def _cmd_sim(args: argparse.Namespace) -> int:
         key = f"sweep_H({args.p},{args.q},{args.d})_{sweep.engine}"
         path = merge_bench_json(args.json, key, sweep.to_json())
         print(f"wrote {path}")
+    return 0 if parity_ok else 1
+
+
+def _print_scenario_curves(sweep) -> None:
+    rows = [
+        {
+            "rate": "default" if row["rate"] is None else f"{row['rate']:g}",
+            "seeds": row["seeds"],
+            "delivered": f"{row['delivered']}/{row['messages']}",
+            "drop b/f/h": f"{row['dropped_buffer']}/{row['dropped_fault']}"
+            f"/{row['dropped_hops']}",
+            "retrans": row["retransmits"],
+            "rerouted": row["rerouted_hops"],
+            "throughput": f"{row['throughput']:.3f}",
+            "mean latency": f"{row['mean_latency']:.3f}",
+            "pareto": "*" if row["pareto"] else "",
+        }
+        for row in sweep.curves()
+    ]
+    print(format_table(rows))
+
+
+def _build_scenario(args: argparse.Namespace, graph):
+    """The :class:`~repro.simulation.scenarios.Scenario` a CLI call describes."""
+    from repro.simulation.network import BufferedLinkModel, LinkModel
+    from repro.simulation.scenarios import FaultPlan, Scenario, make_arrivals
+
+    if args.arrival == "permutation":
+        arrivals = make_arrivals(args.arrival)
+    else:
+        arrivals = make_arrivals(args.arrival, num_messages=args.messages)
+    if args.capacity is not None:
+        link = BufferedLinkModel(
+            capacity=args.capacity,
+            on_full=args.on_full,
+            retry_delay=args.retry_delay,
+            max_retries=args.max_retries,
+        )
+    else:
+        link = LinkModel()
+    if args.fail_links:
+        faults = FaultPlan.random_link_failures(
+            graph,
+            args.fail_links,
+            at=args.fail_at,
+            heal_after=args.heal_after,
+            seed=args.fail_seed,
+        )
+    else:
+        faults = FaultPlan.none()
+    return Scenario(
+        arrivals=arrivals,
+        link=link,
+        faults=faults,
+        reroute=args.reroute,
+        max_hops=args.max_hops,
+    )
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.otis.h_digraph import h_digraph
+    from repro.simulation.scenarios import run_scenario_sweep
+
+    graph = h_digraph(args.p, args.q, args.d)
+    scenario = _build_scenario(args, graph)
+    rates = tuple(args.rates) if args.rates else (None,)
+    engine = "batched" if args.engine == "both" else args.engine
+    sweep = run_scenario_sweep(
+        graph,
+        scenario,
+        rates=rates,
+        seeds=range(args.seeds),
+        engine=engine,
+        router=args.router,
+    )
+    print(
+        f"{sweep.graph_name}: {sweep.num_nodes} nodes, {sweep.num_links} links, "
+        f"engine={sweep.engine}, wall={sweep.wall_time_s:.3f}s"
+    )
+    print(f"scenario [{scenario.digest()}]: {scenario.describe()}")
+    _print_scenario_curves(sweep)
+    parity_ok = True
+    if args.engine == "both":
+        reference = run_scenario_sweep(
+            graph,
+            scenario,
+            rates=rates,
+            seeds=range(args.seeds),
+            engine="event",
+            router=args.router,
+        )
+        parity_ok = [point.stats for point in sweep.points] == [
+            point.stats for point in reference.points
+        ]
+        print(f"parity with event-loop reference: {parity_ok}")
+    if args.json:
+        key = f"scenarios_H({args.p},{args.q},{args.d})_{args.arrival}"
+        path = merge_bench_json(args.json, key, sweep.to_json())
+        print(f"wrote {path}")
+        if _bench_check_after_merge(str(path)):
+            return 1
     return 0 if parity_ok else 1
 
 
@@ -879,6 +1119,24 @@ def _fleet_smoke(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _fleet_status(args: argparse.Namespace) -> int:
+    """``fleet status``: one-shot snapshot of a store, text or JSON."""
+    import json as _json
+
+    from repro.fleet import format_status, status_to_json, store_status
+
+    try:
+        status = store_status(args.out_dir, ttl=args.ttl)
+    except FileNotFoundError as error:
+        print(f"status failed: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(status_to_json(status), indent=2, sort_keys=True))
+    else:
+        print(format_status(status))
+    return 0
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     command = getattr(args, "fleet_command", None)
     if args.smoke or command == "smoke":
@@ -887,8 +1145,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         return _fleet_sweep(args)
     if command == "sim":
         return _fleet_sim(args)
+    if command == "status":
+        return _fleet_status(args)
     print(
-        "fleet needs a mode: fleet sweep ..., fleet sim ..., or fleet --smoke",
+        "fleet needs a mode: fleet sweep ..., fleet sim ..., fleet status "
+        "..., or fleet --smoke",
         file=sys.stderr,
     )
     return 2
@@ -907,6 +1168,7 @@ def main(argv: list[str] | None = None) -> int:
         "table1": _cmd_table1,
         "figure": _cmd_figure,
         "sim": _cmd_sim,
+        "scenarios": _cmd_scenarios,
         "sweep": _cmd_sweep,
         "fleet": _cmd_fleet,
     }

@@ -36,7 +36,12 @@ from repro.fleet.driver import (
     run_fleet,
 )
 from repro.fleet.leases import Lease, LeaseInfo, LeaseManager
-from repro.fleet.status import fleet_status, format_status
+from repro.fleet.status import (
+    fleet_status,
+    format_status,
+    status_to_json,
+    store_status,
+)
 
 __all__ = [
     "DEFAULT_HEARTBEAT_FRACTION",
@@ -50,4 +55,6 @@ __all__ = [
     "LeaseManager",
     "fleet_status",
     "format_status",
+    "status_to_json",
+    "store_status",
 ]

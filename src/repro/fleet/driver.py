@@ -187,6 +187,7 @@ class SimFleetJob(FleetJob):
             self.graph,
             self.manifest.link,
             self.manifest.router,
+            self.manifest.scenario,
             [(index, self._arrays[index]) for index, _ in chunk.items],
         )
         return _run_replica_chunk(payload)

@@ -9,10 +9,15 @@ not exist yet.)
 
 from __future__ import annotations
 
+import json
+from dataclasses import asdict
+from pathlib import Path
+
 from repro.fleet.driver import LEASE_DIR_NAME, FleetJob
 from repro.fleet.leases import LeaseManager
+from repro.otis.sweep import STORE_IDENTITY_NAME, ChunkStore
 
-__all__ = ["fleet_status", "format_status"]
+__all__ = ["fleet_status", "store_status", "status_to_json", "format_status"]
 
 
 def fleet_status(job: FleetJob, *, ttl: float) -> dict:
@@ -38,6 +43,61 @@ def fleet_status(job: FleetJob, *, ttl: float) -> dict:
         "pending": len(chunks) - len(complete) - len(running) - len(expired),
         "done": len(complete) == len(chunks),
     }
+
+
+def store_status(directory: str | Path, *, ttl: float) -> dict:
+    """A :func:`fleet_status`-shaped snapshot read from a store directory.
+
+    Works without reconstructing the job (no graph, traffics or search
+    parameters needed): the chunk count comes from the ``manifest.json``
+    identity the first worker published, completion from the chunk files,
+    liveness from the lease files.  This is what ``repro fleet status``
+    uses — any machine that can see the shared out-dir can poll it.
+    """
+    store = ChunkStore(directory)
+    identity_path = store.directory / STORE_IDENTITY_NAME
+    if not identity_path.exists():
+        raise FileNotFoundError(
+            f"no {STORE_IDENTITY_NAME} in {store.directory} — no fleet has "
+            "written to this out-dir yet"
+        )
+    identity = json.loads(identity_path.read_text())
+    num_chunks = int(identity["num_chunks"])
+    complete = store.completed_ids()
+    leases = LeaseManager(store.directory / LEASE_DIR_NAME, ttl=ttl)
+    running = []
+    expired = []
+    for info in leases.active():
+        if info.chunk_id in complete:
+            continue  # released-after-publish race; ignore
+        (expired if info.expired else running).append(info)
+    return {
+        "chunks": num_chunks,
+        "complete": min(len(complete), num_chunks),
+        "running": running,
+        "expired": expired,
+        "pending": max(
+            0, num_chunks - len(complete) - len(running) - len(expired)
+        ),
+        "done": len(complete) >= num_chunks,
+        "identity": identity,
+    }
+
+
+def status_to_json(status: dict) -> dict:
+    """One status snapshot as a JSON-serialisable object (stable schema).
+
+    The ``running`` / ``expired`` lease lists become plain dicts with the
+    :class:`~repro.fleet.leases.LeaseInfo` fields (``chunk_id``, ``worker``,
+    ``pid``, ``host``, ``age_s``, ``expired``); everything else is already
+    JSON-native.  ``json.loads(json.dumps(status_to_json(s)))`` round-trips
+    exactly — the contract ``repro fleet status --json`` exposes to
+    dashboards and cron jobs.
+    """
+    payload = dict(status)
+    payload["running"] = [asdict(info) for info in status["running"]]
+    payload["expired"] = [asdict(info) for info in status["expired"]]
+    return payload
 
 
 def format_status(status: dict, *, summary: str = "") -> str:

@@ -20,6 +20,10 @@ reproductions of printed numbers.
 * :mod:`repro.simulation.workloads` — synthetic traffic generators
   (uniform random, permutation, broadcast, all-to-all, hotspot) and the
   multi-workload throughput driver :func:`run_throughput_sweep`.
+* :mod:`repro.simulation.scenarios` — the composable scenario layers
+  (arrival processes, finite link buffers, fault plans, reroute policies),
+  the :class:`Scenario` composition both engines accept, and the
+  throughput–latency Pareto sweep driver :func:`run_scenario_sweep`.
 * :mod:`repro.simulation.sharding` — process-sharded ``run_many`` over the
   resumable chunk-store machinery of :mod:`repro.otis.sweep`: replica
   blocks execute as named, atomically published chunks whose merge is
@@ -32,10 +36,27 @@ from repro.simulation.events import BatchEventQueue, EventQueue, Simulator
 from repro.simulation.network import (
     SIMULATOR_ENGINES,
     BatchedNetworkSimulator,
+    BufferedLinkModel,
     LinkModel,
     Message,
     NetworkSimulator,
     NetworkStats,
+)
+from repro.simulation.scenarios import (
+    ARRIVAL_KINDS,
+    REROUTE_KINDS,
+    BurstyArrivals,
+    DiurnalArrivals,
+    FaultEvent,
+    FaultPlan,
+    HotspotArrivals,
+    PermutationArrivals,
+    Scenario,
+    ScenarioSweep,
+    UniformArrivals,
+    make_arrivals,
+    run_scenario_sweep,
+    validate_traffic,
 )
 from repro.simulation.protocols import (
     run_broadcast,
@@ -67,6 +88,7 @@ __all__ = [
     "BatchEventQueue",
     "Simulator",
     "LinkModel",
+    "BufferedLinkModel",
     "Message",
     "NetworkSimulator",
     "BatchedNetworkSimulator",
@@ -90,4 +112,18 @@ __all__ = [
     "run_replica_shard",
     "merge_replica_stats",
     "run_many_sharded",
+    "ARRIVAL_KINDS",
+    "REROUTE_KINDS",
+    "UniformArrivals",
+    "HotspotArrivals",
+    "PermutationArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "FaultEvent",
+    "FaultPlan",
+    "Scenario",
+    "ScenarioSweep",
+    "make_arrivals",
+    "run_scenario_sweep",
+    "validate_traffic",
 ]

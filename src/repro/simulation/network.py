@@ -55,6 +55,23 @@ Batched-engine contract (what is vectorised, what stays FIFO-exact):
   one pooled simulation (replicated link arrays, shared router), which is
   how the sweep driver runs many seeds/load levels in one pass; the
   process-sharded scale-out lives in :mod:`repro.simulation.sharding`.
+
+Scenario runs (degraded-mode contract):
+
+Both engines accept ``scenario=`` (a :class:`repro.simulation.scenarios.
+Scenario`) composing finite link buffers (:class:`BufferedLinkModel`),
+deterministic fault timelines and a reroute policy on top of the healthy
+model.  A scenario that actually degrades the network
+(``scenario.needs_event_exact()``) is simulated with the *per-event scalar
+kernel* in both engines: the batched engine keeps its
+:class:`~repro.simulation.events.BatchEventQueue` batching for event
+selection (fault events occupy the slots past the message range) but
+resolves every link acquisition with the same scalar float ops as the
+reference loop, so the bit-identical parity contract extends to every
+layer combination — failures, finite buffers, retransmits, deflection
+rerouting (enforced by ``tests/test_scenarios.py``).  An arrival-only
+scenario (default link, no faults) runs through the unchanged vector path:
+healthy workloads pay nothing for the scenario seam.
 """
 
 from __future__ import annotations
@@ -71,6 +88,7 @@ from repro.simulation.events import BatchEventQueue, Simulator
 
 __all__ = [
     "LinkModel",
+    "BufferedLinkModel",
     "Message",
     "NetworkStats",
     "NetworkSimulator",
@@ -89,11 +107,22 @@ class LinkModel:
         Propagation + conversion delay of a hop (time units; ns if fed from
         the hardware model).
     transmission_time:
-        Time the link stays busy per message (serialisation time).
+        Time the link stays busy per message (serialisation time).  This *is*
+        the message size in time units (``message_bits / rate`` in
+        :meth:`from_hardware`), so the "no negative/NaN message sizes" checks
+        live here, at construction, not deep in the engines.
     """
 
     latency: float = 1.0
     transmission_time: float = 1.0
+
+    def __post_init__(self):
+        for name in ("latency", "transmission_time"):
+            value = getattr(self, name)
+            if not (np.isfinite(value) and value >= 0):
+                raise ValueError(
+                    f"{name} must be finite and non-negative, got {value!r}"
+                )
 
     @classmethod
     def from_hardware(
@@ -121,6 +150,48 @@ class LinkModel:
         )
 
 
+#: ``BufferedLinkModel.on_full`` policies.
+ON_FULL_POLICIES = ("drop", "retry")
+
+
+@dataclass(frozen=True)
+class BufferedLinkModel(LinkModel):
+    """A :class:`LinkModel` with a finite per-link FIFO queue (backpressure).
+
+    ``capacity`` bounds the number of messages simultaneously queued on (or
+    in service at) one link — exactly the quantity the engines already track
+    as the per-link FIFO depth (``max_link_queue`` reports its peak).  When
+    every live parallel link between two endpoints is at capacity, the
+    arriving message is either dropped (``on_full="drop"``, counted in
+    ``NetworkStats.dropped_buffer``) or re-offered after ``retry_delay``
+    (``on_full="retry"``, counted in ``retransmits``), up to ``max_retries``
+    times before it is dropped after all.  ``capacity=None`` is the
+    infinite-buffer base model; ``capacity=0`` is the degenerate
+    nothing-ever-transmits configuration (every message drops or exhausts
+    its retries — never hangs).
+    """
+
+    capacity: int | None = None
+    on_full: str = "drop"
+    retry_delay: float = 1.0
+    max_retries: int = 16
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.capacity is not None and self.capacity < 0:
+            raise ValueError(f"capacity must be >= 0 or None, got {self.capacity!r}")
+        if self.on_full not in ON_FULL_POLICIES:
+            raise ValueError(
+                f"on_full must be one of {ON_FULL_POLICIES}, got {self.on_full!r}"
+            )
+        if not (np.isfinite(self.retry_delay) and self.retry_delay > 0):
+            raise ValueError(
+                f"retry_delay must be finite and positive, got {self.retry_delay!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries!r}")
+
+
 @dataclass
 class Message:
     """One message travelling through the network.
@@ -137,6 +208,12 @@ class Message:
         Time it reached its destination (NaN until delivered).
     hops:
         Number of links traversed so far.
+    drop_reason:
+        None for delivered (or still-undelivered) messages; ``"buffer"``,
+        ``"fault"`` or ``"hops"`` when a scenario run discarded the message
+        (full buffers, a severed/down path, or the hop TTL).  Messages whose
+        destination is unreachable in the healthy topology keep ``None`` —
+        they are plain undelivered, same as in the base model.
     """
 
     ident: int
@@ -145,6 +222,7 @@ class Message:
     creation_time: float
     arrival_time: float = float("nan")
     hops: int = 0
+    drop_reason: str | None = None
 
     @property
     def delivered(self) -> bool:
@@ -159,7 +237,15 @@ class Message:
 
 @dataclass
 class NetworkStats:
-    """Aggregate statistics of one simulation run."""
+    """Aggregate statistics of one simulation run.
+
+    The scenario counters (all zero in base-model runs) break the
+    ``undelivered`` total down by cause: ``dropped_buffer`` (full finite
+    buffers), ``dropped_fault`` (down node, or no live path and no reroute),
+    ``dropped_hops`` (hop TTL exhausted).  ``retransmits`` counts retry
+    re-offers under ``on_full="retry"`` and ``rerouted_hops`` counts
+    transmissions that left the shortest-path next hop for a fault detour.
+    """
 
     delivered: int
     undelivered: int
@@ -169,12 +255,122 @@ class NetworkStats:
     mean_hops: float
     max_link_queue: int
     total_link_busy_time: float
+    dropped_buffer: int = 0
+    dropped_fault: int = 0
+    dropped_hops: int = 0
+    retransmits: int = 0
+    rerouted_hops: int = 0
 
     def throughput(self) -> float:
         """Delivered messages per unit time (0 when nothing was delivered)."""
         if self.makespan <= 0 or self.delivered == 0:
             return 0.0
         return self.delivered / self.makespan
+
+
+class _ScenarioState:
+    """Mutable fault/reroute state of one scenario run, shared by both engines.
+
+    Owns the link/node up-down flags, applies :class:`~repro.simulation.
+    scenarios.FaultPlan` events (fail-stop: a fault flips a flag; in-flight
+    transmissions complete, only *new* acquisitions see it) and answers
+    next-hop queries under the scenario's reroute policy.  It performs **no**
+    floating-point time arithmetic — transmission timing stays engine-local,
+    so the float side of the parity contract is still enforced between two
+    independent implementations.
+
+    The ``"arc-disjoint"`` policy is greedy deflection over the healthy
+    distance table (:func:`repro.routing.paths.routing_table_for`): when the
+    shortest-path next hop is severed, pick the live out-neighbour
+    minimising ``(healthy distance to destination, neighbour id)``.  On the
+    paper's topologies this walks one of the ``d`` arc-disjoint paths the
+    de Bruijn/Kautz structure guarantees, which is exactly the graceful
+    degradation the scenario suite measures.
+    """
+
+    def __init__(self, graph: BaseDigraph, scenario, router: Router):
+        self.scenario = scenario
+        self.router = router
+        n = graph.num_vertices
+        m = graph.num_arcs
+        self.link_down = np.zeros(m, dtype=bool)
+        self.node_down = np.zeros(n, dtype=bool)
+        self.links_between: dict[tuple[int, int], list[int]] = {}
+        for index, (u, v) in enumerate(graph.arcs()):
+            self.links_between.setdefault((u, v), []).append(index)
+        self.fault_events = tuple(scenario.faults.events)
+        for event in self.fault_events:
+            bound = m if event.kind.startswith("link") else n
+            if not 0 <= event.target < bound:
+                raise ValueError(
+                    f"fault event targets {event.kind.split('_')[0]} "
+                    f"{event.target}, out of range for this topology"
+                )
+        self._distance = None
+        self._neighbors: dict[int, list[int]] = {}
+        if scenario.reroute == "arc-disjoint":
+            from repro.routing.paths import routing_table_for
+            from repro.routing.routers import AUTO_DENSE_MAX_N
+
+            if n > AUTO_DENSE_MAX_N:
+                raise ValueError(
+                    "arc-disjoint reroute needs the dense-table regime "
+                    f"(n <= {AUTO_DENSE_MAX_N}, got n={n})"
+                )
+            self._distance = routing_table_for(graph).distance
+            for u, v in self.links_between:
+                self._neighbors.setdefault(u, [])
+                if v not in self._neighbors[u]:
+                    self._neighbors[u].append(v)
+            for u in self._neighbors:
+                self._neighbors[u].sort()
+
+    def apply_fault(self, index: int) -> None:
+        event = self.fault_events[index]
+        if event.kind == "link_down":
+            self.link_down[event.target] = True
+        elif event.kind == "link_up":
+            self.link_down[event.target] = False
+        elif event.kind == "node_down":
+            self.node_down[event.target] = True
+        else:  # node_up
+            self.node_down[event.target] = False
+
+    def usable(self, node: int, neighbor: int) -> bool:
+        """Is some live link to a live neighbour available for a new hop?"""
+        if self.node_down[neighbor]:
+            return False
+        for link_id in self.links_between[(node, neighbor)]:
+            if not self.link_down[link_id]:
+                return True
+        return False
+
+    def choose(self, node: int, destination: int) -> tuple[int, bool]:
+        """Next hop under the reroute policy.
+
+        Returns ``(next_node, rerouted)``; ``next_node`` is ``-1`` when the
+        destination is unreachable in the healthy topology (plain
+        undelivered, as in the base model) and ``-2`` when faults sever
+        every permitted hop (drop reason ``"fault"``).
+        """
+        primary = self.router.next_hop(node, destination)
+        if primary < 0:
+            return -1, False
+        if self.usable(node, primary):
+            return primary, False
+        if self._distance is None:  # reroute == "none"
+            return -2, False
+        best = -2
+        best_distance = -1
+        for neighbor in self._neighbors.get(node, ()):
+            if neighbor == primary or not self.usable(node, neighbor):
+                continue
+            distance = int(self._distance[neighbor, destination])
+            if distance < 0:
+                continue
+            if best == -2 or distance < best_distance:
+                best, best_distance = neighbor, distance
+        return best, best != -2
 
 
 class NetworkSimulator:
@@ -196,6 +392,12 @@ class NetworkSimulator:
         default ``"auto"`` keeps the dense table for small topologies and
         goes table-free above :data:`repro.routing.routers.AUTO_DENSE_MAX_N`
         vertices.  Mutually exclusive with ``routing``.
+    scenario:
+        Optional :class:`repro.simulation.scenarios.Scenario`.  Mutually
+        exclusive with ``link`` (the scenario carries its own link model);
+        a scenario that degrades the network switches ``run`` to the
+        scenario event loop (buffers, faults, rerouting), an arrival-only
+        scenario behaves exactly like the base model.
     """
 
     def __init__(
@@ -205,9 +407,16 @@ class NetworkSimulator:
         routing: RoutingTable | None = None,
         *,
         router: Router | str | None = None,
+        scenario=None,
     ):
+        if scenario is not None and link is not None:
+            raise ValueError(
+                "pass link= or scenario= (the scenario carries its link model), "
+                "not both"
+            )
         self.graph = graph
-        self.link = link or LinkModel()
+        self.scenario = scenario
+        self.link = scenario.link if scenario is not None else (link or LinkModel())
         self.router = resolve_router(graph, routing=routing, router=router)
         #: The dense table when this simulator routes through one, else None
         #: (kept for callers that share tables between engines).
@@ -233,25 +442,14 @@ class NetworkSimulator:
         Returns the aggregate statistics and the per-message records.
         Messages whose destination is unreachable are counted as undelivered.
         """
+        if self.scenario is not None and self.scenario.needs_event_exact():
+            return self._run_scenario(traffic, until=until, max_events=max_events)
         sim = Simulator()
-        n = self.graph.num_vertices
         link_free_at = np.zeros(self._num_links, dtype=float)
         link_queue_len = np.zeros(self._num_links, dtype=np.int64)
         max_queue = 0
         busy_time = 0.0
-
-        messages: list[Message] = []
-        for ident, (source, destination, time) in enumerate(traffic):
-            if not (0 <= source < n and 0 <= destination < n):
-                raise ValueError(f"message {ident} has endpoints out of range")
-            messages.append(
-                Message(
-                    ident=ident,
-                    source=source,
-                    destination=destination,
-                    creation_time=float(time),
-                )
-            )
+        messages = self._build_messages(traffic)
 
         router = self.router
 
@@ -300,6 +498,150 @@ class NetworkSimulator:
             mean_hops=float(hops.mean()) if hops.size else 0.0,
             max_link_queue=max_queue,
             total_link_busy_time=busy_time,
+        )
+        return stats, messages
+
+    def _build_messages(self, traffic) -> list[Message]:
+        """Validated per-message records (endpoints in range, sane times)."""
+        n = self.graph.num_vertices
+        messages: list[Message] = []
+        for ident, (source, destination, time) in enumerate(traffic):
+            if not (0 <= source < n and 0 <= destination < n):
+                raise ValueError(f"message {ident} has endpoints out of range")
+            time = float(time)
+            if not (np.isfinite(time) and time >= 0):
+                raise ValueError(
+                    f"message {ident} has invalid release time {time!r} "
+                    "(must be finite and non-negative)"
+                )
+            messages.append(
+                Message(
+                    ident=ident,
+                    source=source,
+                    destination=destination,
+                    creation_time=time,
+                )
+            )
+        return messages
+
+    # ------------------------------------------------------------- scenario
+    def _run_scenario(
+        self,
+        traffic,
+        *,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> tuple[NetworkStats, list[Message]]:
+        """The scenario event loop: buffers, faults and rerouting.
+
+        Identical to :meth:`run` until a scenario layer bites: fault events
+        are scheduled *before* any message injection (lower sequence, so a
+        fault at ``t`` is visible to every message event at ``t`` — the
+        fault-at-t=0 degenerate case included), full finite buffers drop or
+        re-offer, and severed primary hops consult the reroute policy.
+        """
+        scenario = self.scenario
+        link = self.link
+        capacity = getattr(link, "capacity", None)
+        on_full = getattr(link, "on_full", "drop")
+        retry_delay = getattr(link, "retry_delay", 1.0)
+        max_retries = getattr(link, "max_retries", 0)
+        ttl = scenario.effective_max_hops(self.graph.num_vertices)
+        state = _ScenarioState(self.graph, scenario, self.router)
+
+        sim = Simulator()
+        link_free_at = np.zeros(self._num_links, dtype=float)
+        link_queue_len = np.zeros(self._num_links, dtype=np.int64)
+        max_queue = 0
+        busy_time = 0.0
+        counters = {
+            "dropped_buffer": 0,
+            "dropped_fault": 0,
+            "dropped_hops": 0,
+            "retransmits": 0,
+            "rerouted_hops": 0,
+        }
+        messages = self._build_messages(traffic)
+        retries = [0] * len(messages)
+
+        # Faults first: at equal timestamps they outrank message events.
+        for index, event in enumerate(state.fault_events):
+            sim.schedule_at(event.time, lambda k=index: state.apply_fault(k))
+
+        def drop(message: Message, reason: str) -> None:
+            message.drop_reason = reason
+            counters["dropped_" + reason] += 1
+
+        def forward(message: Message, node: int) -> None:
+            nonlocal max_queue, busy_time
+            if state.node_down[node]:
+                drop(message, "fault")
+                return
+            if node == message.destination:
+                message.arrival_time = sim.now
+                return
+            if ttl is not None and message.hops >= ttl:
+                drop(message, "hops")
+                return
+            next_node, rerouted = state.choose(node, message.destination)
+            if next_node == -1:
+                return  # unreachable in the healthy topology: plain undelivered
+            if next_node == -2:
+                drop(message, "fault")
+                return
+            live = [
+                lid
+                for lid in self._links_between[(node, next_node)]
+                if not state.link_down[lid]
+            ]
+            if capacity is not None:
+                live = [lid for lid in live if link_queue_len[lid] < capacity]
+            if not live:
+                if on_full == "retry" and retries[message.ident] < max_retries:
+                    retries[message.ident] += 1
+                    counters["retransmits"] += 1
+                    sim.schedule_at(
+                        sim.now + retry_delay,
+                        lambda m=message, at=node: forward(m, at),
+                    )
+                else:
+                    drop(message, "buffer")
+                return
+            link_id = min(live, key=lambda lid: (float(link_free_at[lid]), lid))
+            start = max(sim.now, float(link_free_at[link_id]))
+            finish = start + link.transmission_time
+            link_free_at[link_id] = finish
+            link_queue_len[link_id] += 1
+            max_queue = max(max_queue, int(link_queue_len[link_id]))
+            busy_time += link.transmission_time
+            if rerouted:
+                counters["rerouted_hops"] += 1
+
+            def deliver(msg=message, nxt=next_node, lid=link_id) -> None:
+                link_queue_len[lid] -= 1
+                msg.hops += 1
+                forward(msg, nxt)
+
+            sim.schedule_at(finish + link.latency, deliver)
+
+        for message in messages:
+            sim.schedule_at(
+                message.creation_time, lambda m=message: forward(m, m.source)
+            )
+        makespan = sim.run(until=until, max_events=max_events)
+        delivered = [m for m in messages if m.delivered]
+        latencies = np.array([m.latency for m in delivered], dtype=float)
+        hops = np.array([m.hops for m in delivered], dtype=float)
+        stats = NetworkStats(
+            delivered=len(delivered),
+            undelivered=len(messages) - len(delivered),
+            makespan=makespan,
+            mean_latency=float(latencies.mean()) if latencies.size else 0.0,
+            max_latency=float(latencies.max()) if latencies.size else 0.0,
+            mean_hops=float(hops.mean()) if hops.size else 0.0,
+            max_link_queue=max_queue,
+            total_link_busy_time=busy_time,
+            **counters,
         )
         return stats, messages
 
@@ -375,6 +717,50 @@ def _sequential_sum(count: int, term: float) -> float:
     return float(np.cumsum(np.full(count, float(term)))[-1])
 
 
+def _pool_traffics(traffics, n: int):
+    """Flatten per-replica traffics into pooled arrays, validating as it goes.
+
+    Returns ``(src, dst, created, counts, offsets)``; rejects out-of-range
+    endpoints and NaN/negative/infinite release times (same checks — and the
+    same error messages — as the reference engine's message builder).
+    """
+    R = len(traffics)
+    src_parts, dst_parts, time_parts = [], [], []
+    counts = np.zeros(R, dtype=np.int64)
+    for r, traffic in enumerate(traffics):
+        arr = np.asarray(traffic, dtype=float)
+        if arr.size == 0:
+            arr = arr.reshape(0, 3)
+        if arr.ndim != 2 or arr.shape[1] != 3:
+            raise ValueError(
+                "traffic must be a sequence of (source, destination, time) triples"
+            )
+        src = arr[:, 0].astype(np.int64)
+        dst = arr[:, 1].astype(np.int64)
+        injected = arr[:, 2].astype(float)
+        bad = (src < 0) | (src >= n) | (dst < 0) | (dst >= n)
+        if bad.any():
+            ident = int(np.flatnonzero(bad)[0])
+            raise ValueError(f"message {ident} has endpoints out of range")
+        bad_time = ~(np.isfinite(injected) & (injected >= 0))
+        if bad_time.any():
+            ident = int(np.flatnonzero(bad_time)[0])
+            raise ValueError(
+                f"message {ident} has invalid release time "
+                f"{float(injected[ident])!r} (must be finite and non-negative)"
+            )
+        src_parts.append(src)
+        dst_parts.append(dst)
+        time_parts.append(injected)
+        counts[r] = src.shape[0]
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    N = int(offsets[-1])
+    src = np.concatenate(src_parts) if N else np.zeros(0, dtype=np.int64)
+    dst = np.concatenate(dst_parts) if N else np.zeros(0, dtype=np.int64)
+    created = np.concatenate(time_parts) if N else np.zeros(0)
+    return src, dst, created, counts, offsets
+
+
 class BatchedNetworkSimulator:
     """Vectorised event-batched re-implementation of :class:`NetworkSimulator`.
 
@@ -397,9 +783,16 @@ class BatchedNetworkSimulator:
         routing: RoutingTable | None = None,
         *,
         router: Router | str | None = None,
+        scenario=None,
     ):
+        if scenario is not None and link is not None:
+            raise ValueError(
+                "pass link= or scenario= (the scenario carries its link model), "
+                "not both"
+            )
         self.graph = graph
-        self.link = link or LinkModel()
+        self.scenario = scenario
+        self.link = scenario.link if scenario is not None else (link or LinkModel())
         self.router = resolve_router(graph, routing=routing, router=router)
         self.routing = getattr(self.router, "table", None)
         self._groups = _LinkGroups(graph)
@@ -445,7 +838,19 @@ class BatchedNetworkSimulator:
         workload alone (``max_events``, which caps the *total* event count
         across replicas, is the one exception — it is a global safety valve,
         exact only for a single workload).
+
+        With a degrading ``scenario`` the pooled pass switches to the
+        scenario event loop (same pooling, scalar per-event kernel — see the
+        module docstring's degraded-mode contract).
         """
+        if self.scenario is not None and self.scenario.needs_event_exact():
+            return self._run_many_scenario(
+                traffics,
+                until=until,
+                max_events=max_events,
+                trace=trace,
+                return_messages=return_messages,
+            )
         groups = self._groups
         n = self.graph.num_vertices
         m = groups.num_links
@@ -455,33 +860,9 @@ class BatchedNetworkSimulator:
         R = len(traffics)
 
         # ---- pool the per-message state of every replica into flat arrays
-        src_parts, dst_parts, time_parts = [], [], []
-        counts = np.zeros(R, dtype=np.int64)
-        for r, traffic in enumerate(traffics):
-            arr = np.asarray(traffic, dtype=float)
-            if arr.size == 0:
-                arr = arr.reshape(0, 3)
-            if arr.ndim != 2 or arr.shape[1] != 3:
-                raise ValueError(
-                    "traffic must be a sequence of (source, destination, time) triples"
-                )
-            src = arr[:, 0].astype(np.int64)
-            dst = arr[:, 1].astype(np.int64)
-            injected = arr[:, 2].astype(float)
-            bad = (src < 0) | (src >= n) | (dst < 0) | (dst >= n)
-            if bad.any():
-                ident = int(np.flatnonzero(bad)[0])
-                raise ValueError(f"message {ident} has endpoints out of range")
-            src_parts.append(src)
-            dst_parts.append(dst)
-            time_parts.append(injected)
-            counts[r] = src.shape[0]
-
-        offsets = np.concatenate(([0], np.cumsum(counts)))
+        src, dst, created, counts, offsets = _pool_traffics(traffics, n)
         N = int(offsets[-1])
-        src = np.concatenate(src_parts) if N else np.zeros(0, dtype=np.int64)
-        dst = np.concatenate(dst_parts) if N else np.zeros(0, dtype=np.int64)
-        created = np.concatenate(time_parts) if N else np.zeros(0)
+
         rep = np.repeat(np.arange(R, dtype=np.int64), counts)
 
         loc = src.copy()
@@ -767,6 +1148,207 @@ class BatchedNetworkSimulator:
                         created[lo:hi].tolist(),
                         arrival[lo:hi].tolist(),
                         hops[lo:hi].tolist(),
+                    )
+                ]
+            results.append((stats, messages))
+        return results
+
+    # ------------------------------------------------------------- scenario
+    def _run_many_scenario(
+        self,
+        traffics,
+        *,
+        until: float | None = None,
+        max_events: int | None = None,
+        trace: list | None = None,
+        return_messages: bool = True,
+    ) -> list[tuple[NetworkStats, list[Message] | None]]:
+        """Pooled scenario runs: batched event selection, scalar semantics.
+
+        Keeps the :class:`~repro.simulation.events.BatchEventQueue` batching
+        and the replicated link arrays of :meth:`run_many`, but resolves
+        each event with the per-event scalar kernel — the literal reference
+        algorithm, identical float ops — because finite buffers, fault
+        flips and reroute decisions are order-dependent within a batch.
+        Fault events occupy the queue slots past the message range
+        (``N .. N+F-1``) and are scheduled *first*, so at equal timestamps
+        they outrank every message event, exactly like the reference heap's
+        sequence numbers.  Fault state is global: one timeline drives all
+        replicas, which is what makes a stacked scenario run equal R solo
+        runs of the same scenario.
+        """
+        scenario = self.scenario
+        link = self.link
+        capacity = getattr(link, "capacity", None)
+        on_full = getattr(link, "on_full", "drop")
+        retry_delay = getattr(link, "retry_delay", 1.0)
+        max_retries = getattr(link, "max_retries", 0)
+        groups = self._groups
+        n = self.graph.num_vertices
+        m = groups.num_links
+        T = link.transmission_time
+        L = link.latency
+        R = len(traffics)
+        ttl = scenario.effective_max_hops(n)
+        state = _ScenarioState(self.graph, scenario, self.router)
+        links_between = state.links_between
+
+        src, dst, created, counts, offsets = _pool_traffics(traffics, n)
+        N = int(offsets[-1])
+        rep = np.repeat(np.arange(R, dtype=np.int64), counts)
+
+        loc = src.copy()
+        hops = np.zeros(N, dtype=np.int64)
+        arrival = np.full(N, np.nan)
+        prev_link = np.full(N, -1, dtype=np.int64)  # global (replicated) ids
+        retries = np.zeros(N, dtype=np.int64)
+        drop_reason: list[str | None] = [None] * N
+
+        fault_times = np.array(
+            [event.time for event in state.fault_events], dtype=float
+        )
+        F = fault_times.shape[0]
+        queue = BatchEventQueue(N + F)
+        if F:  # faults first: lower sequence at equal timestamps
+            queue.schedule(np.arange(N, N + F, dtype=np.int64), fault_times)
+        queue.schedule(np.arange(N, dtype=np.int64), created)
+
+        busy_until = np.zeros(R * m)
+        queue_len = np.zeros(R * m, dtype=np.int64)
+        max_queue = np.zeros(R, dtype=np.int64)
+        tx_count = np.zeros(R, dtype=np.int64)
+        last_time = np.zeros(R)
+        dropped_buffer = np.zeros(R, dtype=np.int64)
+        dropped_fault = np.zeros(R, dtype=np.int64)
+        dropped_hops = np.zeros(R, dtype=np.int64)
+        retransmits = np.zeros(R, dtype=np.int64)
+        rerouted_hops = np.zeros(R, dtype=np.int64)
+        processed = 0
+
+        while len(queue):
+            t = queue.peek_time()
+            if until is not None and t > until:
+                break
+            limit = None
+            if max_events is not None:
+                limit = max_events - processed
+                if limit <= 0:
+                    break
+            t, slots = queue.pop_batch(limit=limit)
+            processed += len(slots)
+            for i in slots:
+                if i >= N:
+                    state.apply_fault(i - N)
+                    last_time[:] = t  # the fault timeline is global
+                    continue
+                r = int(rep[i]) if R > 1 else 0
+                last_time[r] = t
+                in_link = int(prev_link[i])
+                if in_link >= 0:
+                    hops[i] += 1
+                    queue_len[in_link] -= 1
+                    prev_link[i] = -1
+                node = int(loc[i])
+                target = int(dst[i])
+                if state.node_down[node]:
+                    drop_reason[i] = "fault"
+                    dropped_fault[r] += 1
+                    continue
+                if node == target:
+                    arrival[i] = t
+                    continue
+                if ttl is not None and hops[i] >= ttl:
+                    drop_reason[i] = "hops"
+                    dropped_hops[r] += 1
+                    continue
+                next_node, rerouted = state.choose(node, target)
+                if next_node == -1:
+                    continue  # unreachable in the healthy topology
+                if next_node == -2:
+                    drop_reason[i] = "fault"
+                    dropped_fault[r] += 1
+                    continue
+                base = r * m
+                live = [
+                    base + lid
+                    for lid in links_between[(node, next_node)]
+                    if not state.link_down[lid]
+                ]
+                if capacity is not None:
+                    live = [lid for lid in live if queue_len[lid] < capacity]
+                if not live:
+                    if on_full == "retry" and retries[i] < max_retries:
+                        retries[i] += 1
+                        retransmits[r] += 1
+                        queue.schedule_one(i, t + retry_delay)
+                    else:
+                        drop_reason[i] = "buffer"
+                        dropped_buffer[r] += 1
+                    continue
+                if len(live) == 1:
+                    link_id = live[0]
+                else:
+                    link_id = min(
+                        live, key=lambda lid: (float(busy_until[lid]), lid)
+                    )
+                start = max(t, float(busy_until[link_id]))
+                finish = start + T
+                busy_until[link_id] = finish
+                depth = int(queue_len[link_id]) + 1
+                queue_len[link_id] = depth
+                if depth > max_queue[r]:
+                    max_queue[r] = depth
+                tx_count[r] += 1
+                if rerouted:
+                    rerouted_hops[r] += 1
+                prev_link[i] = link_id
+                loc[i] = next_node
+                queue.schedule_one(i, finish + L)
+                if trace is not None:
+                    trace.append(
+                        (
+                            np.array([link_id], dtype=np.int64),
+                            np.array([start]),
+                            np.array([i], dtype=np.int64),
+                        )
+                    )
+
+        # ---- per-replica statistics, exactly as the reference computes them
+        results: list[tuple[NetworkStats, list[Message] | None]] = []
+        for r in range(R):
+            lo, hi = int(offsets[r]), int(offsets[r + 1])
+            arrived = arrival[lo:hi]
+            delivered_mask = ~np.isnan(arrived)
+            num_delivered = int(delivered_mask.sum())
+            latencies = (arrived - created[lo:hi])[delivered_mask]
+            hop_counts = hops[lo:hi][delivered_mask].astype(float)
+            stats = NetworkStats(
+                delivered=num_delivered,
+                undelivered=(hi - lo) - num_delivered,
+                makespan=float(last_time[r]),
+                mean_latency=float(latencies.mean()) if latencies.size else 0.0,
+                max_latency=float(latencies.max()) if latencies.size else 0.0,
+                mean_hops=float(hop_counts.mean()) if hop_counts.size else 0.0,
+                max_link_queue=int(max_queue[r]),
+                total_link_busy_time=_sequential_sum(int(tx_count[r]), T),
+                dropped_buffer=int(dropped_buffer[r]),
+                dropped_fault=int(dropped_fault[r]),
+                dropped_hops=int(dropped_hops[r]),
+                retransmits=int(retransmits[r]),
+                rerouted_hops=int(rerouted_hops[r]),
+            )
+            messages: list[Message] | None = None
+            if return_messages:
+                messages = [
+                    Message(ident, source, destination, creation, arrived_at, hop, why)
+                    for ident, source, destination, creation, arrived_at, hop, why in zip(
+                        range(hi - lo),
+                        src[lo:hi].tolist(),
+                        dst[lo:hi].tolist(),
+                        created[lo:hi].tolist(),
+                        arrival[lo:hi].tolist(),
+                        hops[lo:hi].tolist(),
+                        drop_reason[lo:hi],
                     )
                 ]
             results.append((stats, messages))

@@ -76,6 +76,7 @@ _SIM_SOURCES = (
     "routing/routers.py",
     "simulation/events.py",
     "simulation/network.py",
+    "simulation/scenarios.py",
 )
 
 
@@ -119,6 +120,12 @@ _STATS_FIELDS = (
     "mean_hops",
     "max_link_queue",
     "total_link_busy_time",
+    # Scenario counters (all zero outside degraded-mode scenario runs).
+    "dropped_buffer",
+    "dropped_fault",
+    "dropped_hops",
+    "retransmits",
+    "rerouted_hops",
 )
 
 
@@ -143,6 +150,11 @@ def stats_from_json(record: dict) -> NetworkStats:
         mean_hops=float(record["mean_hops"]),
         max_link_queue=int(record["max_link_queue"]),
         total_link_busy_time=float(record["total_link_busy_time"]),
+        dropped_buffer=int(record.get("dropped_buffer", 0)),
+        dropped_fault=int(record.get("dropped_fault", 0)),
+        dropped_hops=int(record.get("dropped_hops", 0)),
+        retransmits=int(record.get("retransmits", 0)),
+        rerouted_hops=int(record.get("rerouted_hops", 0)),
     )
 
 
@@ -166,6 +178,7 @@ class ReplicaChunkManifest:
     chunk_size: int
     code_version: str
     chunks: tuple[SweepChunk, ...]
+    scenario: object | None = None
 
     @classmethod
     def build(
@@ -177,14 +190,22 @@ class ReplicaChunkManifest:
         router: str = "auto",
         chunk_size: int = 4,
         code_version: str | None = None,
+        scenario=None,
     ) -> "ReplicaChunkManifest":
         """Partition ``traffics`` (one entry per replica) into named chunks.
 
         ``code_version`` defaults to :func:`sim_code_version` and should only
         be overridden by tests (to simulate a version bump without editing
-        sources).
+        sources).  A ``scenario`` (:class:`repro.simulation.scenarios.
+        Scenario`) carries its own link model — its
+        :meth:`~repro.simulation.scenarios.Scenario.digest` joins the chunk
+        identity, so fleet workers sharding a scenario sweep can only agree
+        on a chunk when they run the same fault plan, buffers and reroute
+        policy (the traffics stay explicit: digested per replica as usual).
         """
-        link = link or LinkModel()
+        if scenario is not None and link is not None:
+            raise ValueError("pass either link or scenario, not both")
+        link = scenario.link if scenario is not None else (link or LinkModel())
         version = sim_code_version() if code_version is None else code_version
         graph_fp = graph_fingerprint(graph)
         items = [
@@ -199,6 +220,8 @@ class ReplicaChunkManifest:
             router,
             version,
         ]
+        if scenario is not None:
+            identity.append(scenario.digest())
         return cls(
             graph_fp=graph_fp,
             link=link,
@@ -207,6 +230,7 @@ class ReplicaChunkManifest:
             chunk_size=chunk_size,
             code_version=version,
             chunks=make_chunks(items, chunk_size, identity),
+            scenario=scenario,
         )
 
     def shard(self, index: int, count: int) -> tuple[SweepChunk, ...]:
@@ -229,7 +253,7 @@ class ReplicaChunkManifest:
         ids = hashlib.sha256(
             "".join(chunk.chunk_id for chunk in self.chunks).encode()
         ).hexdigest()[:16]
-        return {
+        identity = {
             "kind": "run_many-replicas",
             "graph_fingerprint": self.graph_fp,
             "link_latency": self.link.latency,
@@ -241,6 +265,9 @@ class ReplicaChunkManifest:
             "num_chunks": len(self.chunks),
             "chunk_ids_digest": ids,
         }
+        if self.scenario is not None:
+            identity["scenario_digest"] = self.scenario.digest()
+        return identity
 
 
 # --------------------------------------------------------------------------
@@ -273,15 +300,20 @@ def verify_traffics(manifest: ReplicaChunkManifest, traffics) -> list[np.ndarray
 def _run_replica_chunk(payload) -> list[dict]:
     """Simulate one chunk's replicas; returns one record per replica.
 
-    ``payload`` is ``(graph, link, router_kind, [(index, traffic), ...])`` —
-    plain picklable values so a :class:`ProcessPoolExecutor` worker can run
-    it; the serial path calls it with the same payload.  Each chunk is its
-    own ``run_many`` stack, and per-replica results are independent of the
-    stacking (the batched-engine contract), so chunk boundaries never show
-    in the merged output.
+    ``payload`` is ``(graph, link, router_kind, scenario, [(index, traffic),
+    ...])`` — plain picklable values so a :class:`ProcessPoolExecutor` worker
+    can run it; the serial path calls it with the same payload.  Each chunk
+    is its own ``run_many`` stack, and per-replica results are independent of
+    the stacking (the batched-engine contract, scenario runs included), so
+    chunk boundaries never show in the merged output.
     """
-    graph, link, router_kind, entries = payload
-    simulator = BatchedNetworkSimulator(graph, link=link, router=router_kind)
+    graph, link, router_kind, scenario, entries = payload
+    if scenario is not None:
+        simulator = BatchedNetworkSimulator(
+            graph, scenario=scenario, router=router_kind
+        )
+    else:
+        simulator = BatchedNetworkSimulator(graph, link=link, router=router_kind)
     results = simulator.run_many(
         [traffic for _, traffic in entries], return_messages=False
     )
@@ -330,6 +362,7 @@ def run_replica_shard(
             graph,
             manifest.link,
             manifest.router,
+            manifest.scenario,
             [(index, arrays[index]) for index, _ in chunk.items],
         )
         for chunk in todo
@@ -406,6 +439,7 @@ def run_many_sharded(
     traffics,
     *,
     link: LinkModel | None = None,
+    scenario=None,
     router: str = "auto",
     store: ChunkStore | str | Path,
     chunk_size: int = 4,
@@ -423,7 +457,12 @@ def run_many_sharded(
     chunks.
     """
     manifest = ReplicaChunkManifest.build(
-        graph, traffics, link=link, router=router, chunk_size=chunk_size
+        graph,
+        traffics,
+        link=link,
+        scenario=scenario,
+        router=router,
+        chunk_size=chunk_size,
     )
     run_replica_shard(
         manifest, store, graph, traffics, resume=resume, workers=workers

@@ -180,7 +180,10 @@ def all_to_all_pairs(num_nodes: int) -> Traffic:
 # Multi-workload throughput driver
 # ---------------------------------------------------------------------------
 #: Workload names accepted by :func:`make_workload` / :func:`run_throughput_sweep`.
-SWEEP_WORKLOADS = ("uniform", "hotspot", "permutation")
+#: ``bursty`` and ``diurnal`` delegate to the arrival-process layer of
+#: :mod:`repro.simulation.scenarios` (on/off trains and sinusoidally
+#: modulated Poisson); the first three are the classic inline generators.
+SWEEP_WORKLOADS = ("uniform", "hotspot", "permutation", "bursty", "diurnal")
 
 
 def make_workload(
@@ -209,6 +212,15 @@ def make_workload(
         )
     elif name == "permutation":
         pairs = permutation_pairs(num_nodes, generator)
+    elif name in ("bursty", "diurnal"):
+        # Arrival-process layer (runtime import: scenarios imports this
+        # module for the shared pair generators).  ``rate`` maps onto the
+        # process's load knob via ``with_rate`` — the same axis the
+        # scenario Pareto sweeps use.
+        from repro.simulation.scenarios import make_arrivals
+
+        arrivals = make_arrivals(name, num_messages=num_messages)
+        return arrivals.with_rate(rate).traffic(num_nodes, generator)
     else:
         raise ValueError(
             f"unknown workload {name!r} (expected one of {SWEEP_WORKLOADS})"

@@ -136,6 +136,104 @@ class TestSimCommand:
         assert entry["graph"] == "H(4,8,2)"
         assert entry["curves"][0]["delivered"] == 20
 
+class TestScenariosCommand:
+    def test_scenarios_basic(self, capsys):
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "-p", "2", "-q", "8", "-d", "4",
+                    "--messages", "40",
+                    "--seeds", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "H(2,8,4)" in out
+        assert "scenario [" in out
+        assert "pareto" in out
+
+    def test_scenarios_faults_reroute_parity(self, capsys):
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "-p", "2", "-q", "8", "-d", "4",
+                    "--messages", "40",
+                    "--seeds", "2",
+                    "--rates", "0.5", "2.0",
+                    "--fail-links", "5",
+                    "--fail-at", "2.0",
+                    "--reroute", "arc-disjoint",
+                    "--engine", "both",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "reroute=arc-disjoint" in out
+        assert "parity with event-loop reference: True" in out
+
+    def test_scenarios_buffered_bursty_json(self, capsys, tmp_path):
+        target = tmp_path / "BENCH_scenarios.json"
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "-p", "2", "-q", "8", "-d", "4",
+                    "--arrival", "bursty",
+                    "--messages", "30",
+                    "--seeds", "1",
+                    "--capacity", "1",
+                    "--on-full", "retry",
+                    "--json", str(target),
+                ]
+            )
+            == 0
+        )
+        import json
+
+        data = json.loads(target.read_text())
+        entry = data["scenarios_H(2,8,4)_bursty"]
+        assert entry["scenario"]["arrivals"]["kind"] == "bursty"
+        assert entry["scenario"]["link"]["capacity"] == 1
+        assert entry["scenario_digest"]
+        row = entry["curves"][0]
+        assert {"throughput", "mean_latency", "pareto", "retransmits"} <= set(row)
+
+
+class TestFleetStatusCommand:
+    def test_status_of_completed_store(self, capsys, tmp_path):
+        import json
+
+        from repro.fleet import SweepFleetJob, run_fleet
+        from repro.otis.sweep import ChunkManifest, ChunkStore
+
+        manifest = ChunkManifest.build(2, 6, range(60, 64), chunk_size=2)
+        store = ChunkStore(tmp_path / "sweep")
+        run_fleet(SweepFleetJob(manifest, store), ttl=10, heartbeat=2)
+        assert (
+            main(["fleet", "status", "--out-dir", str(store.directory)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "complete" in out
+        assert (
+            main(
+                ["fleet", "status", "--out-dir", str(store.directory), "--json"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["done"] is True
+        assert payload["chunks"] == len(manifest.chunks)
+        assert payload["running"] == []
+
+    def test_status_of_untouched_dir_fails(self, capsys, tmp_path):
+        assert main(["fleet", "status", "--out-dir", str(tmp_path / "no")]) == 1
+        assert "no fleet has written" in capsys.readouterr().err
+
+
 class TestSweepCommand:
     def _args(self, tmp_path, *extra):
         return [

@@ -67,6 +67,14 @@ class TestExamples:
         assert "expired lease reclaimed: True" in out
         assert "fleet merge identical to direct search: True" in out
 
+    def test_failover_study(self, capsys):
+        load_example("failover_study").main()
+        out = capsys.readouterr().out
+        assert "H(32,64,2): n=1024" in out
+        assert "drop policy loses messages: True" in out
+        assert "rerouted delivery: True" in out
+        assert "degraded-mode latency penalty: +" in out
+
     def test_degree_diameter_search_diameter_8(self, capsys, monkeypatch):
         monkeypatch.setattr(sys, "argv", ["degree_diameter_search.py", "8"])
         load_example("degree_diameter_search").main()

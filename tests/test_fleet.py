@@ -278,6 +278,90 @@ class TestFleetDriver:
         assert "held by peer" in text
         assert "probe" in text
 
+    def test_store_status_json_schema_round_trips(self, tmp_path):
+        # The `repro fleet status --json` contract: the snapshot read from
+        # the store alone (no job parameters) serialises to JSON, round-trips
+        # exactly, and agrees with the job-based reader.
+        from repro.fleet import status_to_json, store_status
+
+        manifest = sweep_manifest()
+        store = ChunkStore(tmp_path / "sweep")
+        job = SweepFleetJob(manifest, store)
+        run_fleet(job, ttl=10, heartbeat=2, max_chunks=1)
+        leases = LeaseManager(store.directory / "leases", ttl=10)
+        leases.try_acquire(
+            next(
+                chunk.chunk_id
+                for chunk in manifest.chunks
+                if not store.is_complete(chunk)
+            ),
+            worker="peer",
+        )
+        status = store_status(store.directory, ttl=10)
+        reference = fleet_status(job, ttl=10)
+        for key in ("chunks", "complete", "pending", "done"):
+            assert status[key] == reference[key]
+        payload = status_to_json(status)
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["chunks"] == len(manifest.chunks)
+        assert payload["complete"] == 1
+        (running,) = payload["running"]
+        assert set(running) == {
+            "chunk_id",
+            "worker",
+            "pid",
+            "host",
+            "age_s",
+            "expired",
+        }
+        assert running["worker"] == "peer"
+        assert running["expired"] is False
+        assert payload["identity"]["kind"] == "degree-diameter-sweep"
+        # format_status renders the store-read snapshot too.
+        assert "held by peer" in format_status(status)
+
+    def test_store_status_without_manifest_fails_fast(self, tmp_path):
+        from repro.fleet import store_status
+
+        with pytest.raises(FileNotFoundError, match="manifest.json"):
+            store_status(tmp_path / "empty", ttl=10)
+
+    def test_scenario_fleet_merge_is_byte_identical(self, tmp_path):
+        # A fleet job whose manifest carries a Scenario runs the degraded
+        # model (faults + finite buffers + reroute) and still merges
+        # byte-identically to the in-process scenario run_many.
+        from repro.simulation.network import BufferedLinkModel
+        from repro.simulation.scenarios import (
+            FaultPlan,
+            Scenario,
+            UniformArrivals,
+        )
+
+        graph = h_digraph(8, 16, 2)
+        scenario = Scenario(
+            arrivals=UniformArrivals(40, rate=1.5),
+            link=BufferedLinkModel(capacity=2, on_full="retry"),
+            faults=FaultPlan.random_link_failures(graph, 10, at=2.0, seed=3),
+            reroute="arc-disjoint",
+        )
+        traffics = [
+            scenario.traffic(graph.num_vertices, rng=seed) for seed in range(4)
+        ]
+        manifest = ReplicaChunkManifest.build(
+            graph, traffics, scenario=scenario, chunk_size=2
+        )
+        job = SimFleetJob(manifest, ChunkStore(tmp_path / "sim"), graph, traffics)
+        outcome = run_fleet(job, ttl=10, heartbeat=2)
+        assert outcome["complete"]
+        expected = [
+            stats
+            for stats, _ in BatchedNetworkSimulator(
+                graph, scenario=scenario
+            ).run_many(traffics, return_messages=False)
+        ]
+        assert job.merge() == expected
+        assert any(stats.dropped_fault or stats.rerouted_hops for stats in expected)
+
 
 # ---------------------------------------------------------------------------
 # Concurrent fleet processes: dynamic assignment, no chunk ever runs twice

@@ -229,3 +229,68 @@ class TestMergeDiagnostics:
         )
         with pytest.raises(FileNotFoundError, match="different manifest"):
             merge_replica_stats(mismatched, tmp_path)
+
+
+class TestScenarioSharding:
+    """Scenario digests join the chunk identity; merges stay byte-identical."""
+
+    def scenario(self):
+        from repro.simulation.network import BufferedLinkModel
+        from repro.simulation.scenarios import (
+            FaultPlan,
+            Scenario,
+            UniformArrivals,
+        )
+
+        return Scenario(
+            arrivals=UniformArrivals(40, rate=1.5),
+            link=BufferedLinkModel(capacity=2, on_full="retry"),
+            faults=FaultPlan.random_link_failures(GRAPH, 8, at=2.0, seed=3),
+            reroute="arc-disjoint",
+        )
+
+    def test_scenario_digest_renames_chunks(self):
+        from repro.simulation.scenarios import Scenario, UniformArrivals
+
+        scenario = self.scenario()
+        traffics = [
+            scenario.traffic(GRAPH.num_vertices, rng=seed) for seed in range(4)
+        ]
+        ids = lambda manifest: [chunk.chunk_id for chunk in manifest.chunks]
+        with_faults = ReplicaChunkManifest.build(GRAPH, traffics, scenario=scenario)
+        healthy = ReplicaChunkManifest.build(
+            GRAPH,
+            traffics,
+            scenario=Scenario(arrivals=UniformArrivals(40, rate=1.5)),
+        )
+        plain = ReplicaChunkManifest.build(GRAPH, traffics)
+        assert ids(with_faults) != ids(healthy)
+        assert ids(healthy) != ids(plain)
+        assert with_faults.identity()["scenario_digest"] == scenario.digest()
+        assert "scenario_digest" not in plain.identity()
+
+    def test_link_and_scenario_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            ReplicaChunkManifest.build(
+                GRAPH, [], link=LINK, scenario=self.scenario()
+            )
+
+    def test_sharded_scenario_merge_is_byte_identical(self, tmp_path):
+        scenario = self.scenario()
+        traffics = [
+            scenario.traffic(GRAPH.num_vertices, rng=seed) for seed in range(5)
+        ]
+        expected = [
+            s
+            for s, _ in BatchedNetworkSimulator(
+                GRAPH, scenario=scenario
+            ).run_many(traffics, return_messages=False)
+        ]
+        assert any(stats.dropped_fault or stats.rerouted_hops for stats in expected)
+        merged = run_many_sharded(
+            GRAPH, traffics, scenario=scenario, store=tmp_path, chunk_size=2
+        )
+        assert merged == expected
+        # The counters survive the JSON codec exactly.
+        for stats in merged:
+            assert stats_from_json(stats_to_json(stats)) == stats
