@@ -18,6 +18,10 @@ the benchmark harness agree on their meaning:
   and congestion scenarios (``BENCH_scenarios.json``).  Opt-in via
   ``--run-scenarios`` or ``-m scenarios``; the fast scenario parity tests
   in ``tests/test_scenarios.py`` run unconditionally.
+* ``serve`` — route-query service load benchmarks (the ``repro serve
+  bench`` replay runs that write ``BENCH_serve.json``).  Opt-in via
+  ``--run-serve`` or ``-m serve``; the fast serve parity and protocol tests
+  in ``tests/test_serve.py`` run unconditionally.
 * ``benchcheck`` — compares the working-tree ``BENCH_*.json`` files against
   the committed versions and fails on a >2x wall-time regression of any
   existing key (``repro.analysis.bench_check``).  Opt-in via
@@ -33,6 +37,8 @@ MARKERS = [
     "sweep: slow end-to-end sharded-sweep runs (opt-in: pass --run-sweep or -m sweep)",
     "scenarios: scenario Pareto-curve benchmarks "
     "(opt-in: pass --run-scenarios or -m scenarios)",
+    "serve: route-query service load benchmarks "
+    "(opt-in: pass --run-serve or -m serve)",
     "benchcheck: BENCH_*.json wall-time regression gate "
     "(opt-in: pass --run-bench-check or -m benchcheck)",
 ]
@@ -42,6 +48,7 @@ _OPT_IN = {
     "sim": "--run-sim",
     "sweep": "--run-sweep",
     "scenarios": "--run-scenarios",
+    "serve": "--run-serve",
     "benchcheck": "--run-bench-check",
 }
 
@@ -64,6 +71,12 @@ def pytest_addoption(parser):
         action="store_true",
         default=False,
         help="run the 'scenarios'-marked scenario Pareto-curve benchmarks",
+    )
+    parser.addoption(
+        "--run-serve",
+        action="store_true",
+        default=False,
+        help="run the 'serve'-marked route-query service load benchmarks",
     )
     parser.addoption(
         "--run-bench-check",

@@ -7,10 +7,13 @@ committed version and fail when any wall-time key an earlier PR recorded got
 slower by more than :data:`REGRESSION_FACTOR`.
 
 Wall-time keys are, by convention, the numeric leaves whose name ends in
-``_s`` (``wall_time_s``, ``batched_s``, ``cold_s``, …).  Keys present only
-in one side are ignored — new benchmarks appear and old ones are renamed;
-the check is about *existing* keys getting slower, nothing else.  Speedups
-and non-timing metrics never fail.
+``_s`` (``wall_time_s``, ``batched_s``, ``cold_s``, …).  Throughput keys
+end in ``_qps`` (or are literally ``qps``) and are checked in the opposite
+direction: they fail when the fresh value dropped below ``committed /
+REGRESSION_FACTOR``.  Keys present only in one side are ignored — new
+benchmarks appear and old ones are renamed; the check is about *existing*
+keys getting slower, nothing else.  Speedups and non-timing metrics never
+fail.
 
 Usage:
 
@@ -33,6 +36,7 @@ from pathlib import Path
 __all__ = [
     "REGRESSION_FACTOR",
     "iter_wall_time_keys",
+    "iter_throughput_keys",
     "compare_bench",
     "committed_bench",
     "main",
@@ -44,6 +48,10 @@ REGRESSION_FACTOR = 2.0
 #: Timings below this (seconds) are never flagged: they sit inside scheduler
 #: noise, and a 2x blip on a 5 ms benchmark is not a regression signal.
 MIN_SIGNIFICANT_SECONDS = 0.05
+
+#: Throughput keys below this (queries/sec) are never flagged, for the same
+#: noise-floor reason as :data:`MIN_SIGNIFICANT_SECONDS`.
+MIN_SIGNIFICANT_QPS = 100.0
 
 
 def iter_wall_time_keys(entry, prefix: tuple[str, ...] = ()):
@@ -59,6 +67,19 @@ def iter_wall_time_keys(entry, prefix: tuple[str, ...] = ()):
             yield prefix, float(entry)
 
 
+def iter_throughput_keys(entry, prefix: tuple[str, ...] = ()):
+    """Yield ``(key_path, qps)`` for every numeric ``qps``/``*_qps`` leaf."""
+    if isinstance(entry, dict):
+        for key, value in entry.items():
+            yield from iter_throughput_keys(value, prefix + (str(key),))
+    elif isinstance(entry, list):
+        for index, value in enumerate(entry):
+            yield from iter_throughput_keys(value, prefix + (str(index),))
+    elif isinstance(entry, (int, float)) and not isinstance(entry, bool):
+        if prefix and (prefix[-1] == "qps" or prefix[-1].endswith("_qps")):
+            yield prefix, float(entry)
+
+
 def compare_bench(
     committed: dict, fresh: dict, factor: float = REGRESSION_FACTOR
 ) -> list[str]:
@@ -66,7 +87,10 @@ def compare_bench(
 
     Returns an empty list when nothing regressed.  Keys absent from either
     side are skipped; committed timings below
-    :data:`MIN_SIGNIFICANT_SECONDS` are skipped too (noise floor).
+    :data:`MIN_SIGNIFICANT_SECONDS` (and throughputs below
+    :data:`MIN_SIGNIFICANT_QPS`) are skipped too (noise floor).
+    Throughput keys regress downward: a fresh value below ``committed /
+    factor`` fails.
     """
     fresh_times = dict(iter_wall_time_keys(fresh))
     messages = []
@@ -81,6 +105,20 @@ def compare_bench(
             messages.append(
                 f"{joined}: {new:.4f}s vs committed {old:.4f}s "
                 f"({new / old:.2f}x, limit {factor:.1f}x)"
+            )
+    fresh_rates = dict(iter_throughput_keys(fresh))
+    for path, old in iter_throughput_keys(committed):
+        if old < MIN_SIGNIFICANT_QPS:
+            continue
+        new = fresh_rates.get(path)
+        if new is None:
+            continue
+        if new * factor < old:
+            joined = ".".join(path)
+            ratio = old / new if new > 0 else float("inf")
+            messages.append(
+                f"{joined}: {new:.1f} q/s vs committed {old:.1f} q/s "
+                f"({ratio:.2f}x slower, limit {factor:.1f}x)"
             )
     return sorted(messages)
 

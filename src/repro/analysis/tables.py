@@ -12,8 +12,16 @@ every entry goes through the same merge-don't-clobber, sorted-keys path).
 from __future__ import annotations
 
 import json
+import os
+import threading
+import warnings
 from collections.abc import Mapping, Sequence
 from pathlib import Path
+
+try:  # file locks for cross-process merge exclusion (POSIX)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 __all__ = ["format_table", "paper_vs_measured", "merge_bench_json"]
 
@@ -50,23 +58,62 @@ def format_table(
     return "\n".join([header, separator, *body])
 
 
+#: Serialises in-process merges; the sidecar ``flock`` below covers other
+#: processes.  One shared lock (not per-path) keeps the bookkeeping trivial —
+#: BENCH merges are rare and tiny, contention is irrelevant.
+_MERGE_LOCK = threading.Lock()
+
+
 def merge_bench_json(path: str | Path, name: str, entry: object) -> Path:
     """Merge one named entry into a ``BENCH_*.json`` trajectory file.
 
     Existing entries under other names are preserved (the BENCH files track
     the performance trajectory *across* PRs, so a run must never clobber the
-    whole file); an unreadable or corrupt file is treated as empty rather
-    than aborting the benchmark that produced the fresh numbers.
+    whole file).  The merge is crash- and concurrency-safe:
+
+    * the new contents are written to a sibling temp file and moved into
+      place with :func:`os.replace` (the ``ChunkStore`` pattern), so a crash
+      mid-write leaves the previous file intact — readers never observe a
+      torn file;
+    * the read-modify-write cycle runs under a process-wide thread lock plus
+      a sidecar ``flock`` (``.<name>.lock``, POSIX), so two concurrent
+      writers — e.g. ``repro fleet sim --merge --json`` racing a benchmark
+      run — cannot drop each other's entries;
+    * an unreadable or corrupt existing file is still treated as empty (the
+      fresh numbers must land), but a :class:`RuntimeWarning` is emitted
+      instead of silently resetting the trajectory.
     """
     path = Path(path)
-    data: dict = {}
-    if path.exists():
+    with _MERGE_LOCK:
+        lock_path = path.with_name(f".{path.name}.lock")
+        lock_fd = None
+        if fcntl is not None:
+            lock_fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+            fcntl.flock(lock_fd, fcntl.LOCK_EX)
         try:
-            data = json.loads(path.read_text())
-        except (ValueError, OSError):
-            data = {}
-    data[name] = entry
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+            data: dict = {}
+            if path.exists():
+                try:
+                    data = json.loads(path.read_text())
+                except (ValueError, OSError) as error:
+                    warnings.warn(
+                        f"{path}: existing bench file is unreadable "
+                        f"({error}); starting a fresh trajectory file",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    data = {}
+            data[name] = entry
+            tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+            try:
+                tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+                os.replace(tmp, path)
+            finally:
+                tmp.unlink(missing_ok=True)
+        finally:
+            if lock_fd is not None:
+                fcntl.flock(lock_fd, fcntl.LOCK_UN)
+                os.close(lock_fd)
     return path
 
 

@@ -30,6 +30,14 @@ Exposes the reproduction's main entry points without writing any Python:
   paths), sweep the offered-load axis and print throughput–latency rows
   with drop/retransmit/reroute counters and Pareto-front flags
   (``--json`` merges them into e.g. ``BENCH_scenarios.json``),
+* ``serve``   — the async batch route-query service (:mod:`repro.serve`):
+  ``serve run`` starts an asyncio HTTP server answering batch next-hop /
+  full-path / ETA queries from a named-topology router registry (with hot
+  reload of a ``--specs`` file), ``serve bench`` replays a
+  simulator-generated workload against a running (or ``--self-host``-ed)
+  server and merges throughput + tail latency into ``BENCH_serve.json``,
+  and ``serve stats`` / ``repro serve --stats`` print a running server's
+  metrics snapshot,
 * ``fleet``   — the lease-based fleet driver (:mod:`repro.fleet`): workers
   **auto-assign** sweep/sim chunks through atomic TTL leases on a shared
   out-dir (no ``--shard i/k`` bookkeeping, crashed workers' chunks are
@@ -334,6 +342,131 @@ def build_parser() -> argparse.ArgumentParser:
         help="accept any diameter <= D instead of exactly D",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="async batch route-query service: next-hop/path/ETA over HTTP",
+    )
+    serve.add_argument(
+        "--stats",
+        action="store_true",
+        help="shorthand for 'serve stats' against the default host/port",
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command")
+
+    def _add_server_address(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1", help="server address")
+        p.add_argument(
+            "--port", type=int, default=8642, help="server port (default 8642)"
+        )
+
+    serve_run = serve_sub.add_parser(
+        "run", help="start the route-query server"
+    )
+    _add_server_address(serve_run)
+    serve_run.add_argument(
+        "--topology",
+        action="append",
+        default=[],
+        metavar="NAME=SPEC[:ROUTER]",
+        help="serve SPEC (e.g. prod=H(16,32,2):closed-form); repeatable",
+    )
+    serve_run.add_argument(
+        "--specs",
+        metavar="FILE",
+        help="JSON spec file mapping names to specs; hot-reloaded on change",
+    )
+    serve_run.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        help="micro-batch coalescing window, seconds (default 2ms)",
+    )
+    serve_run.add_argument(
+        "--batch-pairs",
+        type=int,
+        default=8192,
+        help="flush a micro-batch early at this many pending pairs",
+    )
+    serve_run.add_argument(
+        "--max-pairs",
+        type=int,
+        default=65536,
+        help="reject single requests above this many pairs",
+    )
+    serve_run.add_argument(
+        "--reload-interval",
+        type=float,
+        default=2.0,
+        help="seconds between spec-file change checks (0 disables)",
+    )
+    serve_run.add_argument(
+        "--link-latency",
+        type=float,
+        default=1.0,
+        help="LinkModel latency used by ETA answers",
+    )
+    serve_run.add_argument(
+        "--link-transmission",
+        type=float,
+        default=1.0,
+        help="LinkModel transmission time used by ETA answers",
+    )
+
+    serve_bench = serve_sub.add_parser(
+        "bench",
+        help="trace-replay load generator: replay a workload against a "
+        "running server, record throughput + tail latency",
+    )
+    _add_server_address(serve_bench)
+    serve_bench.add_argument(
+        "--topology",
+        required=True,
+        metavar="NAME[=SPEC[:ROUTER]]",
+        help="topology to query (NAME=SPEC form required with --self-host)",
+    )
+    serve_bench.add_argument(
+        "--op", choices=["next-hop", "path", "eta"], default="next-hop"
+    )
+    serve_bench.add_argument(
+        "--workload",
+        choices=["uniform", "hotspot", "permutation", "bursty", "diurnal"],
+        default="uniform",
+        help="trace to replay (same generators as the simulators)",
+    )
+    serve_bench.add_argument(
+        "--messages", type=int, default=100000, help="queries to replay"
+    )
+    serve_bench.add_argument(
+        "--rate", type=float, default=None, help="workload arrival rate knob"
+    )
+    serve_bench.add_argument(
+        "--batch", type=int, default=1024, help="pairs per request"
+    )
+    serve_bench.add_argument(
+        "--connections", type=int, default=4, help="concurrent connections"
+    )
+    serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument(
+        "--self-host",
+        action="store_true",
+        help="start an in-process server for the bench instead of targeting "
+        "a running one (--topology must carry =SPEC)",
+    )
+    serve_bench.add_argument(
+        "--json",
+        metavar="PATH",
+        help="merge the result into a JSON file (e.g. BENCH_serve.json; "
+        "BENCH files are bench-checked afterwards)",
+    )
+
+    serve_stats = serve_sub.add_parser(
+        "stats", help="print a running server's /stats snapshot"
+    )
+    _add_server_address(serve_stats)
+    serve_stats.add_argument(
+        "--raw", action="store_true", help="print the raw JSON snapshot"
+    )
+
     fleet = sub.add_parser(
         "fleet",
         help="lease-based fleet driver: workers auto-assign sweep/sim chunks",
@@ -493,7 +626,8 @@ def _cmd_layout(args: argparse.Namespace) -> int:
     layout = optimal_debruijn_layout(args.d, args.D)
     print(f"B({args.d},{args.D}): {layout.num_nodes} processors")
     print(f"layout: OTIS({layout.p},{layout.q}), {layout.num_lenses} lenses")
-    print(f"verified: {layout.verify()}")
+    verified = layout.verify()
+    print(f"verified: {verified}")
     if args.assignments:
         rows = []
         for node in range(layout.num_nodes):
@@ -507,7 +641,8 @@ def _cmd_layout(args: argparse.Namespace) -> int:
                 }
             )
         print(format_table(rows))
-    return 0
+    # A failed verification is a broken layout, not a report to ignore.
+    return 0 if verified else 1
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -633,6 +768,10 @@ def _cmd_sim(args: argparse.Namespace) -> int:
         key = f"sweep_H({args.p},{args.q},{args.d})_{sweep.engine}"
         path = merge_bench_json(args.json, key, sweep.to_json())
         print(f"wrote {path}")
+        # Same gate as the scenarios/fleet merges: a BENCH rewrite that
+        # regressed committed wall-time keys must fail the command.
+        if _bench_check_after_merge(str(path)):
+            return 1
     return 0 if parity_ok else 1
 
 
@@ -735,6 +874,213 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         if _bench_check_after_merge(str(path)):
             return 1
     return 0 if parity_ok else 1
+
+
+def _parse_topology_arg(
+    text: str, *, require_spec: bool
+) -> tuple[str, str | None, str]:
+    """``NAME=SPEC[:ROUTER]`` (or plain ``NAME``) -> (name, spec, router)."""
+    from repro.routing.routers import ROUTER_KINDS
+
+    if "=" not in text:
+        if require_spec:
+            raise ValueError(
+                f"--topology {text!r}: --self-host/serve run need the "
+                "NAME=SPEC[:ROUTER] form (e.g. prod=H(16,32,2):closed-form)"
+            )
+        return text, None, "auto"
+    name, _, rest = text.partition("=")
+    router = "auto"
+    spec, _, candidate = rest.rpartition(":")
+    if spec and candidate in ROUTER_KINDS:
+        rest, router = spec, candidate
+    if not name or not rest:
+        raise ValueError(f"--topology {text!r}: expected NAME=SPEC[:ROUTER]")
+    return name, rest, router
+
+
+def _serve_run(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import RouteQueryServer, RouterRegistry
+    from repro.simulation.network import LinkModel
+
+    registry = RouterRegistry()
+    try:
+        if args.specs:
+            registry.load_spec_file(args.specs)
+        for text in args.topology:
+            name, spec, router = _parse_topology_arg(text, require_spec=True)
+            registry.add(name, spec, router)
+    except (OSError, ValueError) as error:
+        print(f"serve run failed: {error}", file=sys.stderr)
+        return 1
+    if not registry.names():
+        print(
+            "serve run needs at least one --topology NAME=SPEC or --specs "
+            "FILE",
+            file=sys.stderr,
+        )
+        return 2
+    link = LinkModel(
+        latency=args.link_latency, transmission_time=args.link_transmission
+    )
+    server = RouteQueryServer(
+        registry,
+        host=args.host,
+        port=args.port,
+        link=link,
+        batch_window_s=args.batch_window,
+        batch_pairs=args.batch_pairs,
+        max_pairs=args.max_pairs,
+        reload_interval_s=args.reload_interval,
+    )
+
+    async def main() -> None:
+        port = await server.start()
+        print(f"serving on http://{args.host}:{port}")
+        for name, info in sorted(registry.snapshot().items()):
+            print(
+                f"  {name}: {info['spec']} via {info['router']} router "
+                f"({info['nodes']} nodes, {info['state_bytes']} bytes of "
+                "routing state)"
+            )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("stopped")
+    except OSError as error:
+        print(f"serve run failed: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _serve_stats(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve.bench import http_request
+
+    try:
+        stats = http_request(args.host, args.port, "GET", "/stats")
+    except OSError as error:
+        print(
+            f"stats failed: no server at {args.host}:{args.port} ({error})",
+            file=sys.stderr,
+        )
+        return 1
+    if getattr(args, "raw", False):
+        print(_json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"uptime {stats['uptime_s']:.1f}s, "
+        f"{stats['queries_per_second']:.0f} queries/s (10s window)"
+    )
+    batching = stats["batching"]
+    print(
+        f"micro-batching: {batching['batches']} batches, "
+        f"{batching['coalesced_requests']} coalesced requests, "
+        f"max {batching['max_batch_pairs']} pairs"
+    )
+    endpoint_rows = [
+        {
+            "op": name,
+            "requests": e["requests"],
+            "queries": e["queries"],
+            "errors": e["errors"],
+            "p50": "-" if e["latency_p50_s"] is None else f"{e['latency_p50_s'] * 1e3:.2f}ms",
+            "p99": "-" if e["latency_p99_s"] is None else f"{e['latency_p99_s'] * 1e3:.2f}ms",
+        }
+        for name, e in sorted(stats["endpoints"].items())
+    ]
+    if endpoint_rows:
+        print(format_table(endpoint_rows))
+    topo_rows = [
+        {
+            "topology": name,
+            "spec": info["spec"],
+            "router": info["router"],
+            "nodes": info["nodes"],
+            "state bytes": info["state_bytes"],
+            "hit rate": (
+                "-"
+                if info.get("cache_hit_rate") is None
+                else f"{info['cache_hit_rate']:.3f}"
+            ),
+            "version": info["version"],
+        }
+        for name, info in sorted(stats["topologies"].items())
+    ]
+    if topo_rows:
+        print(format_table(topo_rows))
+    return 0
+
+
+def _serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve import RouterRegistry, ServerThread, run_bench
+
+    try:
+        name, spec, router = _parse_topology_arg(
+            args.topology, require_spec=args.self_host
+        )
+    except ValueError as error:
+        print(f"bench failed: {error}", file=sys.stderr)
+        return 2
+
+    def bench_against(host: str, port: int):
+        return run_bench(
+            host,
+            port,
+            topology=name,
+            op=args.op,
+            workload=args.workload,
+            messages=args.messages,
+            batch_pairs=args.batch,
+            connections=args.connections,
+            seed=args.seed,
+            rate=args.rate,
+        )
+
+    try:
+        if args.self_host:
+            registry = RouterRegistry()
+            registry.add(name, spec, router)
+            with ServerThread(registry) as server:
+                print(f"self-hosting {name}={spec} on port {server.port}")
+                result = bench_against(server.host, server.port)
+        else:
+            result = bench_against(args.host, args.port)
+    except (OSError, ValueError, RuntimeError) as error:
+        print(f"bench failed: {error}", file=sys.stderr)
+        return 1
+    print(result.describe())
+    if args.json:
+        key = f"serve_{name}_{args.op}_{args.workload}"
+        path = merge_bench_json(args.json, key, result.to_json())
+        print(f"wrote {path}")
+        if _bench_check_after_merge(str(path)):
+            return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    command = getattr(args, "serve_command", None)
+    if command == "run":
+        return _serve_run(args)
+    if command == "bench":
+        return _serve_bench(args)
+    if command == "stats" or (command is None and args.stats):
+        # `repro serve --stats` hits the default host/port.
+        if command is None:
+            args.host, args.port = "127.0.0.1", 8642
+        return _serve_stats(args)
+    print(
+        "serve needs a mode: serve run ..., serve bench ..., serve stats, "
+        "or serve --stats",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def _build_sim_study(args: argparse.Namespace, graph, rates):
@@ -1171,6 +1517,7 @@ def main(argv: list[str] | None = None) -> int:
         "scenarios": _cmd_scenarios,
         "sweep": _cmd_sweep,
         "fleet": _cmd_fleet,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

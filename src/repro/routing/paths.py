@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 
@@ -317,6 +318,14 @@ _TABLE_CACHE_LIMIT = 4
 _TABLE_CACHE_HITS = 0
 _TABLE_CACHE_MISSES = 0
 _table_tokens = itertools.count()
+#: Guards every mutation of the module-level LRU above.  The cache is shared
+#: by all threads of a process (the serve workers hit it from an executor),
+#: and ``OrderedDict`` eviction racing a concurrent insert can corrupt the
+#: dict or evict an entry mid-read.  Table *contents* are immutable once
+#: built, so only the dict bookkeeping needs the lock — builds run outside
+#: it (two threads missing on the same graph both build; the insert is
+#: idempotent).
+_TABLE_CACHE_LOCK = threading.RLock()
 
 
 def _fresh_token_id() -> str:
@@ -336,27 +345,30 @@ def set_routing_table_cache_limit(limit: int) -> None:
     global _TABLE_CACHE_LIMIT
     if limit < 0:
         raise ValueError("cache limit must be non-negative")
-    _TABLE_CACHE_LIMIT = int(limit)
-    while len(_TABLE_CACHE) > _TABLE_CACHE_LIMIT:
-        _TABLE_CACHE.popitem(last=False)
+    with _TABLE_CACHE_LOCK:
+        _TABLE_CACHE_LIMIT = int(limit)
+        while len(_TABLE_CACHE) > _TABLE_CACHE_LIMIT:
+            _TABLE_CACHE.popitem(last=False)
 
 
 def routing_table_cache_info() -> dict[str, int]:
     """Counters and occupancy of the routing-table LRU (for tests/benches)."""
-    return {
-        "entries": len(_TABLE_CACHE),
-        "limit": _TABLE_CACHE_LIMIT,
-        "hits": _TABLE_CACHE_HITS,
-        "misses": _TABLE_CACHE_MISSES,
-    }
+    with _TABLE_CACHE_LOCK:
+        return {
+            "entries": len(_TABLE_CACHE),
+            "limit": _TABLE_CACHE_LIMIT,
+            "hits": _TABLE_CACHE_HITS,
+            "misses": _TABLE_CACHE_MISSES,
+        }
 
 
 def clear_routing_table_cache() -> None:
     """Drop every cached table (and reset the hit/miss counters)."""
     global _TABLE_CACHE_HITS, _TABLE_CACHE_MISSES
-    _TABLE_CACHE.clear()
-    _TABLE_CACHE_HITS = 0
-    _TABLE_CACHE_MISSES = 0
+    with _TABLE_CACHE_LOCK:
+        _TABLE_CACHE.clear()
+        _TABLE_CACHE_HITS = 0
+        _TABLE_CACHE_MISSES = 0
 
 
 def routing_table_for(graph: BaseDigraph, method: str = "auto") -> RoutingTable:
@@ -392,20 +404,30 @@ def routing_table_for(graph: BaseDigraph, method: str = "auto") -> RoutingTable:
         try:
             graph._routing_table_cache = token
         except AttributeError:  # pragma: no cover - exotic graph classes w/ slots
-            _TABLE_CACHE_MISSES += 1
+            with _TABLE_CACHE_LOCK:
+                _TABLE_CACHE_MISSES += 1
             return build_routing_table(graph, method=method)
     key = (token[1], slot)
-    cached = _TABLE_CACHE.get(key)
-    if cached is not None:
-        _TABLE_CACHE.move_to_end(key)
-        _TABLE_CACHE_HITS += 1
-        return cached
-    _TABLE_CACHE_MISSES += 1
+    with _TABLE_CACHE_LOCK:
+        cached = _TABLE_CACHE.get(key)
+        if cached is not None:
+            _TABLE_CACHE.move_to_end(key)
+            _TABLE_CACHE_HITS += 1
+            return cached
+        _TABLE_CACHE_MISSES += 1
+    # Build outside the lock: tables are immutable once built, so two
+    # threads missing on the same graph at worst build twice and the second
+    # insert wins — the lock only has to keep the dict bookkeeping sound.
     table = build_routing_table(graph, method=method)
-    if _TABLE_CACHE_LIMIT > 0:
-        _TABLE_CACHE[key] = table
-        while len(_TABLE_CACHE) > _TABLE_CACHE_LIMIT:
-            _TABLE_CACHE.popitem(last=False)
+    with _TABLE_CACHE_LOCK:
+        existing = _TABLE_CACHE.get(key)
+        if existing is not None:
+            _TABLE_CACHE.move_to_end(key)
+            return existing
+        if _TABLE_CACHE_LIMIT > 0:
+            _TABLE_CACHE[key] = table
+            while len(_TABLE_CACHE) > _TABLE_CACHE_LIMIT:
+                _TABLE_CACHE.popitem(last=False)
     return table
 
 

@@ -41,6 +41,7 @@ messages on topologies whose dense table would not fit in memory.
 from __future__ import annotations
 
 import re
+import threading
 
 import numpy as np
 
@@ -78,7 +79,7 @@ ROUTER_KINDS = ("auto", "dense", "closed-form", "lru")
 
 
 class Router:
-    """Next-hop oracle used by the network simulators.
+    """Next-hop oracle used by the network simulators and the serve layer.
 
     Subclasses implement :meth:`next_hops` (vectorised, the batched engine's
     hot path) and :meth:`next_hop` (scalar, the reference loop and the
@@ -87,6 +88,19 @@ class Router:
     :func:`repro.routing.paths.build_routing_table` holds: the lowest-slot
     out-neighbour of ``source`` one BFS step closer to ``target`` (``source``
     itself on the diagonal, ``-1`` when unreachable).
+
+    **Thread-safety contract.**  :meth:`next_hops` is the hot path, so the
+    base class takes no lock around it; the contract is instead:
+
+    * *Stateless* routers (:class:`DenseTableRouter`,
+      :class:`ClosedFormRouter`) never mutate after construction and are safe
+      for any number of concurrent reader threads with no synchronisation.
+    * *Stateful* routers must serialise their own cache mutation internally
+      (:class:`LruRowRouter` holds a private lock across each call), so
+      callers never need an external lock — but a stateful router's calls may
+      contend.  The simulators are single-writer by construction (one
+      simulator thread owns its router); the serve layer relies on this
+      contract to share one router between executor threads.
     """
 
     #: Kind string (matches the :data:`ROUTER_KINDS` entry that builds it).
@@ -100,6 +114,10 @@ class Router:
         """Vectorised :meth:`next_hop` over aligned index arrays."""
         raise NotImplementedError
 
+    def num_vertices(self) -> int:
+        """Number of vertices of the routed topology."""
+        raise NotImplementedError
+
     def state_bytes(self) -> int:
         """Bytes of routing state currently held (the benchmarks record it)."""
         raise NotImplementedError
@@ -107,6 +125,87 @@ class Router:
     def describe(self) -> str:
         """One-line human-readable summary (CLI output)."""
         return f"{self.kind} router ({self.state_bytes()} bytes of state)"
+
+    # ------------------------------------------------------ derived queries
+    def path_lengths(
+        self, sources: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised hop counts of the routed paths (``-1`` unreachable).
+
+        The generic implementation walks :meth:`next_hops` until every pair
+        reaches its target, so the count is *exactly* the number of hops a
+        message routed by this router takes — and because all router kinds
+        are bit-identical on next hops, all kinds return bit-identical hop
+        counts (the serve parity tests enforce this).  Routers with a
+        distance table override this with an O(1) lookup.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        hops = np.zeros(sources.shape, dtype=np.int64)
+        current = sources.copy()
+        active = np.flatnonzero(current != targets)
+        limit = self.num_vertices()
+        steps = 0
+        while active.size:
+            if steps >= limit:  # pragma: no cover - defensive (cyclic router)
+                raise RuntimeError(
+                    "routing walk exceeded the vertex count: the router is "
+                    "not converging to the target"
+                )
+            nxt = self.next_hops(current[active], targets[active])
+            unreachable = nxt < 0
+            if np.any(unreachable):
+                hops[active[unreachable]] = -1
+            current[active] = np.where(unreachable, targets[active], nxt)
+            hops[active[~unreachable]] += 1
+            still = current[active] != targets[active]
+            active = active[still]
+            steps += 1
+        return hops
+
+    def full_path(self, source: int, target: int) -> list[int] | None:
+        """The routed path as a vertex list, or None when unreachable.
+
+        Follows :meth:`next_hop` from ``source`` to ``target``; on every
+        supported topology this is a shortest path (the next hop is always
+        one BFS step closer).
+        """
+        path = [int(source)]
+        current = int(source)
+        limit = self.num_vertices()
+        while current != target:
+            nxt = self.next_hop(current, target)
+            if nxt < 0:
+                return None
+            current = int(nxt)
+            path.append(current)
+            if len(path) > limit:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    "routing walk exceeded the vertex count: the router is "
+                    "not converging to the target"
+                )
+        return path
+
+    def etas(
+        self, sources: np.ndarray, targets: np.ndarray, link=None
+    ) -> np.ndarray:
+        """Uncongested delivery-time estimates for ``(source, target)`` pairs.
+
+        A message over ``h`` hops on idle links arrives after
+        ``h * (latency + transmission_time)`` time units (each hop pays the
+        propagation latency plus the serialisation time; no queueing).
+        ``link=None`` uses the default
+        :class:`~repro.simulation.network.LinkModel`.  Unreachable pairs
+        return ``-1.0``.
+        """
+        if link is None:
+            from repro.simulation.network import LinkModel
+
+            link = LinkModel()
+        hops = self.path_lengths(sources, targets)
+        per_hop = float(link.latency + link.transmission_time)
+        eta = hops.astype(np.float64) * per_hop
+        return np.where(hops < 0, -1.0, eta)
 
 
 class DenseTableRouter(Router):
@@ -122,6 +221,18 @@ class DenseTableRouter(Router):
 
     def next_hops(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
         return self.table.next_hop[sources, targets]
+
+    def num_vertices(self) -> int:
+        return self.table.num_vertices
+
+    def path_lengths(
+        self, sources: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        # O(1) per pair: the BFS distance *is* the walk length (every next
+        # hop is one step closer), so this matches the generic walk exactly.
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        return self.table.distance[sources, targets]
 
     def state_bytes(self) -> int:
         return int(self.table.next_hop.nbytes + self.table.distance.nbytes)
@@ -243,6 +354,13 @@ class ClosedFormRouter(Router):
         if self._from_code is not None:
             return int(self._from_code[code])
         return code
+
+    def num_vertices(self) -> int:
+        if self._to_code is not None:
+            return int(self._to_code.shape[0])
+        if self._from_code is not None:  # pragma: no cover - to_code set too
+            return int(self._from_code.shape[0])
+        return self.base**self.D
 
     def state_bytes(self) -> int:
         total = 0
@@ -497,6 +615,22 @@ class LruRowRouter(Router):
         self._tick = 0
         self.hits = 0
         self.misses = 0
+        # Serialises cache mutation (insert/evict/tick) against concurrent
+        # row reads: two threads racing next_hops could otherwise evict a
+        # slot between another batch's slot lookup and its row read,
+        # returning a different source's row.  Reentrant so next_hop can be
+        # called from code already holding the lock.
+        self._lock = threading.RLock()
+
+    # -------------------------------------------------------------- pickle
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks do not pickle; workers get a fresh one
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ----------------------------------------------------------- row maths
     def _compute_row(self, source: int) -> np.ndarray:
@@ -549,21 +683,28 @@ class LruRowRouter(Router):
 
     # ------------------------------------------------------------- routing
     def next_hop(self, source: int, target: int) -> int:
-        slot = int(self._slot_of[source])
-        if slot < 0:
-            self.misses += 1
-            slot = self._insert(source)
-        else:
-            self.hits += 1
-            self._tick += 1
-            self._last_used[slot] = self._tick
-        return int(self._rows[slot, target])
+        with self._lock:
+            slot = int(self._slot_of[source])
+            if slot < 0:
+                self.misses += 1
+                slot = self._insert(source)
+            else:
+                self.hits += 1
+                self._tick += 1
+                self._last_used[slot] = self._tick
+            return int(self._rows[slot, target])
 
     def next_hops(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
         sources = np.asarray(sources, dtype=np.int64)
         targets = np.asarray(targets, dtype=np.int64)
         if sources.size == 0:
             return np.zeros(0, dtype=np.int64)
+        with self._lock:
+            return self._next_hops_locked(sources, targets)
+
+    def _next_hops_locked(
+        self, sources: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
         slots = self._slot_of[sources]
         missing = np.unique(sources[slots < 0])
         self.hits += int(np.unique(sources[slots >= 0]).size)
@@ -596,9 +737,13 @@ class LruRowRouter(Router):
         return out
 
     # ---------------------------------------------------------------- misc
+    def num_vertices(self) -> int:
+        return self._n
+
     def cached_rows(self) -> int:
         """Number of rows currently cached."""
-        return self._used
+        with self._lock:
+            return self._used
 
     def state_bytes(self) -> int:
         return int(

@@ -1,0 +1,50 @@
+"""Async batch route-query service (``repro serve``).
+
+The closed-form routers of :mod:`repro.routing.routers` answer next-hop
+queries in O(D) from O(n) state — 2 MB at ``n = 131072`` where a dense table
+is 275 GB — which makes them servable: a stateless worker holding only the
+relabelling arrays can answer route queries for millions of users, and
+horizontal scale-out is free.  This package turns that asset into a service:
+
+* :mod:`repro.serve.registry` — named topologies -> built routers, with
+  atomic hot reload when a spec changes,
+* :mod:`repro.serve.protocol` — the batch JSON query format and its
+  vectorised decode/answer kernels,
+* :mod:`repro.serve.metrics` — per-endpoint counters, queries/sec and
+  latency histograms behind the ``/stats`` endpoint,
+* :mod:`repro.serve.server` — the asyncio HTTP server with micro-batching
+  (concurrent requests coalesce into one ``next_hops`` call),
+* :mod:`repro.serve.bench` — the trace-replay load generator feeding
+  ``BENCH_serve.json``.
+
+Everything is stdlib ``asyncio`` + numpy; there are no new dependencies.
+"""
+
+from repro.serve.bench import BenchResult, ServerThread, run_bench
+from repro.serve.metrics import LatencyHistogram, ServeMetrics
+from repro.serve.protocol import (
+    QUERY_OPS,
+    BatchQuery,
+    ProtocolError,
+    answer_query,
+    decode_query,
+)
+from repro.serve.registry import RouterEntry, RouterRegistry, build_graph
+from repro.serve.server import RouteQueryServer
+
+__all__ = [
+    "RouterRegistry",
+    "RouterEntry",
+    "build_graph",
+    "QUERY_OPS",
+    "BatchQuery",
+    "ProtocolError",
+    "decode_query",
+    "answer_query",
+    "LatencyHistogram",
+    "ServeMetrics",
+    "RouteQueryServer",
+    "ServerThread",
+    "BenchResult",
+    "run_bench",
+]

@@ -1,0 +1,298 @@
+"""Trace-replay load generator for the serve layer (``repro serve bench``).
+
+Replays a simulator-generated workload (:func:`make_workload` — so the same
+uniform/hotspot/permutation/bursty/diurnal arrival processes the PR 6
+scenario layer sweeps) against a running server: the ``(source, target)``
+pairs are cut into batches of ``batch_pairs``, the batches are spread over
+``connections`` concurrent keep-alive connections, and every request's
+round-trip latency is recorded.  The result carries exact client-side
+percentiles (every sample is kept) and the aggregate queries/sec, and
+serialises into the ``BENCH_serve.json`` trajectory format whose
+``wall_time_s`` / ``*_s`` latency keys and ``qps`` throughput key are
+regression-checked by the bench gate.
+
+:class:`ServerThread` runs a :class:`RouteQueryServer` on a background
+thread with its own event loop — the in-process harness the tests, the
+benchmarks and ``repro serve bench --self-host`` all share.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.serve.registry import RouterRegistry
+from repro.serve.server import RouteQueryServer
+
+__all__ = ["ServerThread", "http_request", "BenchResult", "run_bench"]
+
+
+class ServerThread:
+    """A :class:`RouteQueryServer` on a dedicated thread + event loop.
+
+    >>> registry = RouterRegistry()
+    >>> _ = registry.add("demo", "B(2,3)")
+    >>> with ServerThread(registry) as server:
+    ...     reply = http_request(server.host, server.port, "GET", "/healthz")
+    >>> reply["ok"]
+    True
+    """
+
+    def __init__(self, registry: RouterRegistry, **server_kwargs):
+        self.server = RouteQueryServer(registry, **server_kwargs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):  # pragma: no cover - hang guard
+            raise RuntimeError("serve thread failed to start")
+        if self._startup_error is not None:
+            self._thread.join(timeout=5)
+            raise RuntimeError("serve thread failed to start") from (
+                self._startup_error
+            )
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+
+        async def main():
+            try:
+                await self.server.start()
+            except BaseException as error:
+                self._startup_error = error
+                raise
+            finally:
+                self._started.set()
+            # Sleep forever; stop() interrupts via loop.stop().
+            await asyncio.Event().wait()
+
+        try:
+            loop.run_until_complete(main())
+        except RuntimeError:  # loop.stop() interrupts run_until_complete
+            pass
+        except Exception:  # startup failure already captured above
+            pass
+        finally:
+            loop.run_until_complete(self.server.stop())
+            loop.close()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def http_request(
+    host: str, port: int, method: str, path: str, body: object = None
+) -> dict:
+    """One blocking JSON-over-HTTP round trip (stdlib ``http.client``)."""
+    import http.client
+
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        payload = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"} if payload else {}
+        connection.request(method, path, body=payload, headers=headers)
+        response = connection.getresponse()
+        return json.loads(response.read())
+    finally:
+        connection.close()
+
+
+@dataclass
+class BenchResult:
+    """One load-generation run against a serve endpoint."""
+
+    topology: str
+    op: str
+    workload: str
+    queries: int
+    requests: int
+    batch_pairs: int
+    connections: int
+    wall_s: float
+    qps: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+
+    def to_json(self) -> dict:
+        """The ``BENCH_serve.json`` entry format (keys feed the bench gate)."""
+        return {
+            "topology": self.topology,
+            "op": self.op,
+            "workload": self.workload,
+            "queries": self.queries,
+            "requests": self.requests,
+            "batch_pairs": self.batch_pairs,
+            "connections": self.connections,
+            "wall_time_s": round(self.wall_s, 4),
+            "qps": round(self.qps, 1),
+            "p50_s": round(self.p50_s, 6),
+            "p95_s": round(self.p95_s, 6),
+            "p99_s": round(self.p99_s, 6),
+            "max_s": round(self.max_s, 6),
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.topology}/{self.op}: {self.queries} queries in "
+            f"{self.wall_s:.3f}s = {self.qps:,.0f} q/s "
+            f"(p50 {self.p50_s * 1e3:.2f}ms, p99 {self.p99_s * 1e3:.2f}ms, "
+            f"{self.requests} requests x {self.batch_pairs} pairs, "
+            f"{self.connections} connections)"
+        )
+
+
+async def _replay_connection(
+    host: str, port: int, payloads: list[bytes], latencies: list[float]
+) -> None:
+    """Send this connection's request payloads sequentially (keep-alive)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for payload in payloads:
+            start = time.perf_counter()
+            writer.write(
+                (
+                    f"POST /v1/query HTTP/1.1\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "\r\n"
+                ).encode()
+                + payload
+            )
+            await writer.drain()
+            # Read the status line + headers, then exactly the body.
+            length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n"):
+                    break
+                if line.lower().startswith(b"content-length:"):
+                    length = int(line.split(b":", 1)[1])
+            body = await reader.readexactly(length)
+            latencies.append(time.perf_counter() - start)
+            reply = json.loads(body)
+            if not reply.get("ok"):
+                raise RuntimeError(f"server rejected a bench query: {reply}")
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
+async def _replay(
+    host: str, port: int, batches: list[bytes], connections: int
+) -> tuple[list[float], float]:
+    per_connection: list[list[bytes]] = [[] for _ in range(connections)]
+    for index, payload in enumerate(batches):
+        per_connection[index % connections].append(payload)
+    latencies: list[float] = []
+    start = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _replay_connection(host, port, payloads, latencies)
+            for payloads in per_connection
+            if payloads
+        )
+    )
+    return latencies, time.perf_counter() - start
+
+
+def run_bench(
+    host: str,
+    port: int,
+    *,
+    topology: str,
+    op: str = "next-hop",
+    workload: str = "uniform",
+    messages: int = 100_000,
+    batch_pairs: int = 1024,
+    connections: int = 4,
+    seed: int = 0,
+    rate: float | None = None,
+) -> BenchResult:
+    """Replay one workload against a running server; returns the result.
+
+    The traffic is generated with the simulators'
+    :func:`~repro.simulation.workloads.make_workload` (identical RNG stream,
+    so a bench run queries exactly the pairs a simulation would route) and
+    the topology size is discovered from the server's ``/stats`` endpoint —
+    the client needs no local copy of the graph.
+    """
+    from repro.simulation.workloads import make_workload
+
+    stats = http_request(host, port, "GET", "/stats")
+    info = stats.get("topologies", {}).get(topology)
+    if info is None:
+        known = ", ".join(sorted(stats.get("topologies", {}))) or "(none)"
+        raise ValueError(
+            f"server does not serve topology {topology!r} (serving: {known})"
+        )
+    num_nodes = int(info["nodes"])
+    traffic = make_workload(workload, num_nodes, messages, rng=seed, rate=rate)
+    pairs = [[source, target] for source, target, _ in traffic]
+    batches = []
+    for offset in range(0, len(pairs), batch_pairs):
+        chunk = pairs[offset : offset + batch_pairs]
+        batches.append(
+            json.dumps(
+                {"op": op, "topology": topology, "pairs": chunk}
+            ).encode()
+        )
+    latencies, wall = asyncio.run(_replay(host, port, batches, connections))
+    latencies.sort()
+    count = len(latencies)
+
+    def percentile(p: float) -> float:
+        if not count:
+            return 0.0
+        return latencies[min(count - 1, int(p / 100.0 * count))]
+
+    queries = len(pairs)
+    return BenchResult(
+        topology=topology,
+        op=op,
+        workload=workload,
+        queries=queries,
+        requests=count,
+        batch_pairs=batch_pairs,
+        connections=connections,
+        wall_s=wall,
+        qps=queries / wall if wall > 0 else 0.0,
+        p50_s=percentile(50),
+        p95_s=percentile(95),
+        p99_s=percentile(99),
+        max_s=latencies[-1] if latencies else 0.0,
+    )

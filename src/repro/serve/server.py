@@ -1,0 +1,365 @@
+"""The asyncio batch route-query server.
+
+Transport is deliberately minimal HTTP/1.1 on stdlib ``asyncio`` streams (no
+new dependencies): one JSON object per request body, keep-alive connections,
+four routes:
+
+* ``POST /v1/query`` — a batch next-hop / path / ETA query
+  (:mod:`repro.serve.protocol`),
+* ``GET /stats`` — the metrics snapshot (:mod:`repro.serve.metrics`) plus
+  the per-topology registry snapshot (router kind, state bytes, cache hit
+  rates, version),
+* ``POST /reload`` — force a spec-file reload (hot reload also runs
+  periodically), returns the changed topology names,
+* ``GET /healthz`` — liveness.
+
+**Micro-batching.**  Concurrent requests against the same
+``(topology, version, op)`` coalesce: the first request arms a
+``batch_window_s`` timer, later ones append to the pending bucket, and the
+bucket flushes early when it accumulates ``batch_pairs`` pairs.  One flush
+concatenates every pending query into single numpy arrays and makes *one*
+router call in a worker thread, then splits the results back per request —
+so a thousand small concurrent queries cost one vectorised ``next_hops``
+dispatch, which is where the >100k queries/sec of ``BENCH_serve.json`` comes
+from.  All batching state lives on the event-loop thread (no locks); only
+the router call itself runs in the executor, which is why the router
+thread-safety contract of :class:`repro.routing.routers.Router` matters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.serve.metrics import ServeMetrics
+from repro.serve.protocol import ProtocolError, answer_query, decode_query
+from repro.serve.registry import RouterEntry, RouterRegistry
+
+__all__ = ["RouteQueryServer"]
+
+_JSON_HEADERS = "Content-Type: application/json\r\n"
+
+
+class RouteQueryServer:
+    """One server process: registry + metrics + micro-batched query loop."""
+
+    def __init__(
+        self,
+        registry: RouterRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        link=None,
+        batch_window_s: float = 0.002,
+        batch_pairs: int = 8192,
+        max_pairs: int = 65536,
+        reload_interval_s: float = 2.0,
+        executor_threads: int = 2,
+    ):
+        if link is None:
+            from repro.simulation.network import LinkModel
+
+            link = LinkModel()
+        self.registry = registry
+        self.host = host
+        self.port = int(port)  # 0 until started; then the bound port
+        self.link = link
+        self.batch_window_s = float(batch_window_s)
+        self.batch_pairs = int(batch_pairs)
+        self.max_pairs = int(max_pairs)
+        self.reload_interval_s = float(reload_interval_s)
+        self.metrics = ServeMetrics()
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_threads, thread_name_prefix="repro-serve"
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._reload_task: asyncio.Task | None = None
+        # Micro-batch buckets, keyed (topology, entry version, op); only the
+        # event-loop thread touches them, so no lock is needed.
+        self._pending: dict[tuple, list] = {}
+        self._timers: dict[tuple, asyncio.TimerHandle] = {}
+        self._connections: set[asyncio.Task] = set()
+
+    # -------------------------------------------------------------- lifecycle
+    async def start(self) -> int:
+        """Bind and start serving; returns the actual port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.reload_interval_s > 0:
+            self._reload_task = asyncio.get_running_loop().create_task(
+                self._reload_loop()
+            )
+        return self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._reload_task is not None:
+            self._reload_task.cancel()
+            self._reload_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Idle keep-alive connections sit in readline() forever; cancel them
+        # so loop teardown never destroys a pending handler task.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._executor.shutdown(wait=False)
+
+    async def _reload_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.reload_interval_s)
+            try:
+                self.registry.reload()
+            except (OSError, ValueError):  # keep serving on a bad spec file
+                pass
+
+    # ------------------------------------------------------------ HTTP layer
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:  # pragma: no branch
+            self._connections.add(task)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "").lower() != "close"
+                status, reply = await self._dispatch(method, path, body)
+                payload = (json.dumps(reply) + "\n").encode()
+                writer.write(
+                    (
+                        f"HTTP/1.1 {status}\r\n"
+                        f"{_JSON_HEADERS}"
+                        f"Content-Length: {len(payload)}\r\n"
+                        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+                        "\r\n"
+                    ).encode()
+                    + payload
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass  # client went away mid-request
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):  # pragma: no cover - racy teardown paths
+                pass
+            # Deregister last: until then stop() can still cancel/reap us.
+            if task is not None:  # pragma: no branch
+                self._connections.discard(task)
+
+    @staticmethod
+    async def _read_request(reader):
+        """Parse one HTTP/1.1 request; None on a cleanly closed connection."""
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = header.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        """Route one request; returns ``(status line, reply object)``."""
+        if path == "/healthz":
+            return "200 OK", {"ok": True, "topologies": self.registry.names()}
+        if path == "/stats":
+            stats = self.metrics.snapshot()
+            stats["ok"] = True
+            stats["topologies"] = self.registry.snapshot()
+            return "200 OK", stats
+        if path == "/reload":
+            if method != "POST":
+                return "405 Method Not Allowed", {
+                    "ok": False,
+                    "error": "use POST /reload",
+                }
+            try:
+                changed = self.registry.reload(force=True)
+            except (OSError, ValueError) as error:
+                return "500 Internal Server Error", {
+                    "ok": False,
+                    "error": f"reload failed: {error}",
+                }
+            return "200 OK", {"ok": True, "changed": changed}
+        if path == "/v1/query":
+            if method != "POST":
+                return "405 Method Not Allowed", {
+                    "ok": False,
+                    "error": "use POST /v1/query",
+                }
+            return await self._handle_query(body)
+        return "404 Not Found", {"ok": False, "error": f"no route {path!r}"}
+
+    # ----------------------------------------------------------- query path
+    async def _handle_query(self, body: bytes):
+        start = time.perf_counter()
+        op = "invalid"
+        try:
+            try:
+                obj = json.loads(body)
+            except ValueError as error:
+                raise ProtocolError(f"request body is not JSON: {error}")
+            query = decode_query(obj, max_pairs=self.max_pairs)
+            op = query.op
+            try:
+                entry = self.registry.get(query.topology)
+            except KeyError:
+                known = ", ".join(self.registry.names()) or "(none)"
+                self.metrics.record(
+                    op, queries=0, seconds=time.perf_counter() - start, error=True
+                )
+                return "404 Not Found", {
+                    "ok": False,
+                    "error": f"unknown topology {query.topology!r} "
+                    f"(serving: {known})",
+                }
+            n = entry.router.num_vertices()
+            for what, array in (
+                ("source", query.sources),
+                ("target", query.targets),
+            ):
+                if array.size and (array.min() < 0 or array.max() >= n):
+                    raise ProtocolError(
+                        f"{what} index out of range for {query.topology!r} "
+                        f"(topology has {n} vertices)"
+                    )
+        except ProtocolError as error:
+            self.metrics.record(
+                op, queries=0, seconds=time.perf_counter() - start, error=True
+            )
+            return "400 Bad Request", {"ok": False, "error": str(error)}
+        reply = await self._submit(entry, query)
+        self.metrics.record(
+            op, queries=query.count, seconds=time.perf_counter() - start
+        )
+        return "200 OK", reply
+
+    async def _submit(self, entry: RouterEntry, query) -> dict:
+        """Enqueue a validated query into its micro-batch; await the reply."""
+        loop = asyncio.get_running_loop()
+        key = (entry.name, entry.version, query.op)
+        future: asyncio.Future = loop.create_future()
+        bucket = self._pending.setdefault(key, [])
+        bucket.append((query, future))
+        pending_pairs = sum(q.count for q, _ in bucket)
+        if pending_pairs >= self.batch_pairs:
+            self._cancel_timer(key)
+            loop.create_task(self._flush(key, entry))
+        elif len(bucket) == 1:
+            self._timers[key] = loop.call_later(
+                self.batch_window_s,
+                lambda: loop.create_task(self._flush(key, entry)),
+            )
+        return await future
+
+    def _cancel_timer(self, key) -> None:
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+
+    async def _flush(self, key, entry: RouterEntry) -> None:
+        self._cancel_timer(key)
+        bucket = self._pending.pop(key, None)
+        if not bucket:
+            return
+        queries = [query for query, _ in bucket]
+        loop = asyncio.get_running_loop()
+        try:
+            replies = await loop.run_in_executor(
+                self._executor, self._run_batch, entry, queries
+            )
+        except Exception as error:  # noqa: BLE001 - fail every waiter
+            for _, future in bucket:
+                if not future.done():  # pragma: no branch
+                    future.set_exception(error)
+            return
+        self.metrics.record_batch(
+            requests=len(bucket), pairs=sum(q.count for q in queries)
+        )
+        for (_, future), reply in zip(bucket, replies):
+            if not future.done():  # pragma: no branch
+                future.set_result(reply)
+
+    def _run_batch(self, entry: RouterEntry, queries) -> list[dict]:
+        """One coalesced router call for a bucket of same-op queries.
+
+        Runs in a worker thread.  Single-query buckets skip the concat/split
+        round-trip; multi-query buckets answer the concatenated arrays once
+        and slice the results back per request.  Either way every reply is
+        bit-identical to answering each query alone — concatenation changes
+        the batching, never the per-pair arithmetic.
+        """
+        if len(queries) == 1:
+            return [
+                answer_query(
+                    queries[0],
+                    entry.router,
+                    link=self.link,
+                    version=entry.version,
+                )
+            ]
+        from repro.serve.protocol import BatchQuery
+
+        combined = BatchQuery(
+            op=queries[0].op,
+            topology=queries[0].topology,
+            sources=np.concatenate([q.sources for q in queries]),
+            targets=np.concatenate([q.targets for q in queries]),
+        )
+        merged = answer_query(
+            combined, entry.router, link=self.link, version=entry.version
+        )
+        replies = []
+        offset = 0
+        for query in queries:
+            end = offset + query.count
+            reply = {
+                "ok": True,
+                "op": query.op,
+                "topology": query.topology,
+                "count": query.count,
+                "version": entry.version,
+            }
+            if query.id is not None:
+                reply["id"] = query.id
+            for field in ("hops", "lengths", "etas", "paths"):
+                if field in merged:
+                    reply[field] = merged[field][offset:end]
+            replies.append(reply)
+            offset = end
+        return replies

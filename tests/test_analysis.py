@@ -1,5 +1,7 @@
 """Tests for the analysis/reporting helpers."""
 
+import json
+
 import pytest
 
 from repro.analysis.lens_count import lens_scaling_study, lens_scaling_table
@@ -70,3 +72,65 @@ class TestTables:
     def test_paper_vs_measured_zero_paper_value(self):
         assert paper_vs_measured("x", 0, 0)["relative_deviation"] == 0.0
         assert paper_vs_measured("x", 0, 1)["relative_deviation"] == float("inf")
+
+
+class TestMergeBenchJson:
+    """The BENCH-file merge: atomic, warning on corruption, thread-safe."""
+
+    def test_merge_preserves_existing_keys(self, tmp_path):
+        from repro.analysis.tables import merge_bench_json
+
+        path = tmp_path / "BENCH_x.json"
+        merge_bench_json(path, "first", {"wall_time_s": 1.0})
+        merge_bench_json(path, "second", {"wall_time_s": 2.0})
+        data = json.loads(path.read_text())
+        assert set(data) == {"first", "second"}
+
+    def test_corrupt_file_warns_instead_of_silently_discarding(self, tmp_path):
+        from repro.analysis.tables import merge_bench_json
+
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{not json")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            merge_bench_json(path, "fresh", {"wall_time_s": 1.0})
+        assert json.loads(path.read_text()) == {"fresh": {"wall_time_s": 1.0}}
+
+    def test_no_tmp_or_lock_litter_next_to_the_bench_file(self, tmp_path):
+        from repro.analysis.tables import merge_bench_json
+
+        path = tmp_path / "BENCH_x.json"
+        merge_bench_json(path, "entry", {"wall_time_s": 1.0})
+        leftovers = [
+            p.name for p in tmp_path.iterdir() if p.name.startswith(".BENCH")
+        ]
+        # the sidecar lock file may persist (it is reused), tmp files not
+        assert not any(".tmp." in name for name in leftovers)
+
+    def test_threaded_merges_never_tear_or_drop_entries(self, tmp_path):
+        """Regression: pre-lock, concurrent merges raced read-modify-write
+        and the file ended up missing entries (or as torn JSON)."""
+        import threading
+
+        from repro.analysis.tables import merge_bench_json
+
+        path = tmp_path / "BENCH_x.json"
+        threads_n, entries_per_thread = 8, 25
+
+        def worker(thread_index):
+            for step in range(entries_per_thread):
+                merge_bench_json(
+                    path,
+                    f"t{thread_index}_e{step}",
+                    {"wall_time_s": float(step)},
+                )
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        data = json.loads(path.read_text())  # valid JSON: never torn
+        assert len(data) == threads_n * entries_per_thread

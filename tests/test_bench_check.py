@@ -105,3 +105,55 @@ class TestGitComparison:
         bench.write_text(json.dumps({"a": {"wall_time_s": 9.0}}))
         assert committed_bench(bench) is None
         assert check_file(bench) == []
+
+
+class TestThroughputKeys:
+    """``qps``/``*_qps`` leaves regress downward, unlike ``*_s`` leaves."""
+
+    def test_finds_qps_leaves(self):
+        from repro.analysis.bench_check import iter_throughput_keys
+
+        entry = {
+            "serve": {"qps": 250000.0, "peak_qps": 300000, "p50_s": 0.004},
+            "other": {"count": 7},
+        }
+        found = dict(iter_throughput_keys(entry))
+        assert found == {
+            ("serve", "qps"): 250000.0,
+            ("serve", "peak_qps"): 300000.0,
+        }
+
+    def test_throughput_drop_is_a_regression(self):
+        committed = {"serve": {"qps": 200000.0}}
+        fresh = {"serve": {"qps": 50000.0}}
+        messages = compare_bench(committed, fresh)
+        assert len(messages) == 1
+        assert "q/s" in messages[0] and "4.00x slower" in messages[0]
+
+    def test_throughput_within_factor_passes(self):
+        committed = {"serve": {"qps": 200000.0}}
+        fresh = {"serve": {"qps": 150000.0}}
+        assert compare_bench(committed, fresh) == []
+
+    def test_throughput_gain_passes(self):
+        committed = {"serve": {"qps": 100000.0}}
+        fresh = {"serve": {"qps": 500000.0}}
+        assert compare_bench(committed, fresh) == []
+
+    def test_qps_noise_floor(self):
+        from repro.analysis.bench_check import MIN_SIGNIFICANT_QPS
+
+        committed = {"tiny": {"qps": MIN_SIGNIFICANT_QPS / 2}}
+        fresh = {"tiny": {"qps": 1.0}}
+        assert compare_bench(committed, fresh) == []
+
+    def test_zero_fresh_qps_reports_inf(self):
+        committed = {"serve": {"qps": 200000.0}}
+        fresh = {"serve": {"qps": 0.0}}
+        messages = compare_bench(committed, fresh)
+        assert len(messages) == 1 and "inf" in messages[0]
+
+    def test_wall_time_and_qps_checked_together(self):
+        committed = {"serve": {"qps": 200000.0, "wall_time_s": 1.0}}
+        fresh = {"serve": {"qps": 40000.0, "wall_time_s": 5.0}}
+        assert len(compare_bench(committed, fresh)) == 2

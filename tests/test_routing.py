@@ -321,3 +321,68 @@ class TestRoutingTableCache:
         routing_table_for(graph)
         signature, token_id = graph._routing_table_cache
         assert token_id.startswith(f"{os.getpid()}-")
+
+
+class TestRoutingTableCacheThreadSafety:
+    """Regression: the module-level table LRU is shared across simulator
+    engines and serve executor threads; concurrent lookups and evictions
+    must never corrupt the OrderedDict or hand back a half-registered
+    entry."""
+
+    def setup_method(self):
+        from repro.routing.paths import (
+            clear_routing_table_cache,
+            set_routing_table_cache_limit,
+        )
+
+        clear_routing_table_cache()
+        set_routing_table_cache_limit(2)  # constant eviction pressure
+
+    teardown_method = setup_method
+
+    def test_threaded_lookups_stay_consistent(self):
+        import threading
+
+        from repro.routing.paths import build_routing_table, routing_table_for
+
+        graphs = [de_bruijn(2, D) for D in (3, 4, 5)] + [kautz(2, 3)]
+        expected = [build_routing_table(g).next_hop for g in graphs]
+        errors = []
+
+        def worker(seed):
+            order = list(range(len(graphs)))
+            for step in range(25):
+                index = order[(seed + step) % len(order)]
+                table = routing_table_for(graphs[index])
+                if not (table.next_hop == expected[index]).all():
+                    errors.append(index)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    def test_cache_stays_bounded_under_threads(self):
+        import threading
+
+        from repro.routing.paths import (
+            routing_table_cache_info,
+            routing_table_for,
+        )
+
+        graphs = [de_bruijn(2, D) for D in (3, 4, 5, 6)]
+
+        def worker(seed):
+            for step in range(20):
+                routing_table_for(graphs[(seed + step) % len(graphs)])
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        info = routing_table_cache_info()
+        assert info["entries"] <= 2
+        assert info["hits"] + info["misses"] >= 120
