@@ -9,9 +9,22 @@ the default calibrated timing.
 
 Markers (``table1``, ``sim``) are registered once, in the repository-root
 ``conftest.py``.
+
+A session-scoped autouse fixture warms the active kernel backend
+(:mod:`repro.kernels`) before the first benchmark runs, so one-time
+compilation / JIT warm-up cost can never land inside a timed region and
+masquerade as a wall-time regression in the ``BENCH_*.json`` keys.
 """
 
 import pytest
+
+from repro import kernels
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_kernel_backend():
+    """Pay kernel compilation/JIT warm-up once, before anything is timed."""
+    return kernels.warmup()
 
 
 def run_once(benchmark, func, *args, **kwargs):

@@ -11,9 +11,11 @@ win, and record the multi-workload sweep curves of the throughput driver.
 
 Every run merges its numbers into ``BENCH_sim.json`` at the repository root
 so the simulator performance trajectory is tracked across PRs (same scheme
-as ``BENCH_table1.json``).  All tests carry the ``sim`` marker and are
-opt-in: run them with ``pytest benchmarks/test_simulation_throughput.py
---run-sim``.
+as ``BENCH_table1.json``).  Each payload records the active kernel backend
+(:mod:`repro.kernels`) next to its wall-time keys, so a regression hunt
+never compares a compiled-backend time against a numpy-fallback time
+without noticing.  All tests carry the ``sim`` marker and are opt-in: run
+them with ``pytest benchmarks/test_simulation_throughput.py --run-sim``.
 """
 
 import json
@@ -23,6 +25,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import kernels
 from repro.otis.h_digraph import h_digraph
 from repro.routing.paths import routing_table_for
 from repro.simulation.network import (
@@ -86,7 +89,33 @@ def test_batched_engine_parity_and_speedup_100k():
     assert _messages_equal(ref_messages, bat_messages)
     assert bat_stats.delivered == 100_000
 
+    # engine-pass timing (return_messages=False): the compiled-kernel claim
+    # lives here, where the work is all rounds — ``batched_s`` above also
+    # pays the per-message ``Message`` materialisation, which no backend
+    # touches.  Both passes must agree bit-for-bit with the full run.
+    kern_sim = BatchedNetworkSimulator(graph, link=link, routing=routing)
+    numpy_sim = BatchedNetworkSimulator(
+        graph, link=link, routing=routing, kernels="numpy"
+    )
+    engine_seconds = engine_numpy_seconds = float("inf")
+    for _ in range(2):  # best-of-2: one background blip must not gate
+        start = time.perf_counter()
+        ((kern_engine_stats, _),) = kern_sim.run_many(
+            [traffic], return_messages=False
+        )
+        engine_seconds = min(engine_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        ((numpy_engine_stats, _),) = numpy_sim.run_many(
+            [traffic], return_messages=False
+        )
+        engine_numpy_seconds = min(
+            engine_numpy_seconds, time.perf_counter() - start
+        )
+        assert kern_engine_stats == ref_stats
+        assert numpy_engine_stats == ref_stats
+
     speedup = ref_seconds / bat_seconds
+    kernel_speedup = engine_numpy_seconds / engine_seconds
     _record(
         "uniform_100k_H(32,64,2)",
         {
@@ -97,12 +126,21 @@ def test_batched_engine_parity_and_speedup_100k():
             "reference_s": round(ref_seconds, 4),
             "batched_s": round(bat_seconds, 4),
             "speedup": round(speedup, 2),
+            "engine_s": round(engine_seconds, 4),
+            "engine_numpy_s": round(engine_numpy_seconds, 4),
+            "kernel_backend": kern_sim.kernel_backend,
+            "kernel_speedup": round(kernel_speedup, 2),
             "makespan": bat_stats.makespan,
             "throughput": bat_stats.throughput(),
             "mean_latency": bat_stats.mean_latency,
         },
     )
     assert speedup >= 10.0, f"batched engine only {speedup:.1f}x faster"
+    if kern_sim.kernel_backend != "numpy":
+        assert kernel_speedup >= 5.0, (
+            f"{kern_sim.kernel_backend} engine only {kernel_speedup:.1f}x "
+            "faster than the numpy rounds"
+        )
 
 
 def test_throughput_sweep_driver_records_curves():
@@ -154,6 +192,7 @@ def test_run_many_amortises_many_seeds():
             "stacked_s": round(stacked_seconds, 4),
             "separate_s": round(separate_seconds, 4),
             "amortisation": round(separate_seconds / stacked_seconds, 2),
+            "kernel_backend": simulator.kernel_backend,
         },
     )
     assert stacked_seconds < separate_seconds
@@ -199,6 +238,7 @@ def test_router_comparison_100k_n1024():
             "closed_over_dense": round(ratio, 3),
             "dense_state_bytes": dense_bytes,
             "closed_form_state_bytes": closed_bytes,
+            "kernel_backend": kernels.active_backend(),
         },
     )
     assert ratio <= 1.75, f"closed-form routing {ratio:.2f}x slower than the table"
@@ -239,6 +279,7 @@ def test_table_free_large_n_100k():
             "routing_state_bytes": state_bytes,
             "dense_table_would_be_bytes": 2 * 8 * graph.num_vertices**2,
             "batched_s": round(seconds, 4),
+            "kernel_backend": simulator.kernel_backend,
             "makespan": stats.makespan,
             "throughput": stats.throughput(),
             "mean_latency": stats.mean_latency,
@@ -306,6 +347,7 @@ def test_million_message_sharded_study_n_1e5():
             "routing_state_bytes": router.state_bytes(),
             "dense_table_would_be_bytes": 2 * 8 * graph.num_vertices**2,
             "wall_time_s": round(seconds, 4),
+            "kernel_backend": kernels.active_backend(),
             "mean_hops": merged[0].mean_hops,
         },
     )

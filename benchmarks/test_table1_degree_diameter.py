@@ -22,6 +22,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import kernels
 from repro.analysis.tables import merge_bench_json
 from repro.otis.search import compare_with_paper, table1_rows
 
@@ -43,6 +44,7 @@ def _record(name, result, seconds):
                 [n, [list(split) for split in splits]] for n, splits in result.rows
             ],
             "wall_time_s": round(seconds, 4),
+            "kernel_backend": kernels.active_backend(),
         },
     )
 

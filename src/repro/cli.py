@@ -68,6 +68,33 @@ from repro.version import __version__
 __all__ = ["main", "build_parser"]
 
 
+class _VersionAction(argparse.Action):
+    """``--version`` with kernel-backend diagnostics.
+
+    Lazy on purpose: probing the backends may import numba or compile the C
+    kernels, which must never happen at parser-build time.
+    """
+
+    def __init__(self, option_strings, dest, **kwargs):
+        kwargs.setdefault("nargs", 0)
+        kwargs.setdefault("help", "show version and kernel backend diagnostics")
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from repro import kernels
+
+        print(f"repro {__version__}")
+        print(kernels.diagnostics())
+        parser.exit()
+
+
+def _active_kernel_backend() -> str:
+    """The kernel backend sweeps run on (lazy: probing may compile)."""
+    from repro import kernels
+
+    return kernels.active_backend()
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -75,7 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="De Bruijn isomorphisms and free space optical networks "
         "(IPDPS 2000) — reproduction CLI",
     )
-    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument("--version", action=_VersionAction)
     sub = parser.add_subparsers(dest="command", required=True)
 
     layout = sub.add_parser("layout", help="optimal OTIS layout of B(d, D)")
@@ -747,7 +774,8 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     )
     print(
         f"{sweep.graph_name}: {sweep.num_nodes} nodes, {sweep.num_links} links, "
-        f"engine={sweep.engine}, wall={sweep.wall_time_s:.3f}s"
+        f"engine={sweep.engine}, kernels={sweep.kernel_backend}, "
+        f"wall={sweep.wall_time_s:.3f}s"
     )
     _print_sweep_curves(sweep)
     parity_ok = True
@@ -849,7 +877,8 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     )
     print(
         f"{sweep.graph_name}: {sweep.num_nodes} nodes, {sweep.num_links} links, "
-        f"engine={sweep.engine}, wall={sweep.wall_time_s:.3f}s"
+        f"engine={sweep.engine}, kernels={sweep.kernel_backend}, "
+        f"wall={sweep.wall_time_s:.3f}s"
     )
     print(f"scenario [{scenario.digest()}]: {scenario.describe()}")
     _print_scenario_curves(sweep)
@@ -1139,6 +1168,7 @@ def _cmd_sim_sharded(args: argparse.Namespace, graph, rates) -> int:
             engine="batched",
             link=link,
             wall_time_s=_time.perf_counter() - start,
+            kernel_backend=_active_kernel_backend(),
         )
         _print_sweep_curves(sweep)
         if args.json:
@@ -1375,6 +1405,7 @@ def _fleet_sim(args: argparse.Namespace) -> int:
             engine="batched",
             link=link,
             wall_time_s=_time.perf_counter() - start,
+            kernel_backend=_active_kernel_backend(),
         )
         _print_sweep_curves(sweep)
         if args.json:

@@ -46,6 +46,7 @@ import sys
 
 import numpy as np
 
+from repro import kernels as _kernels
 from repro.graphs.digraph import BaseDigraph, RegularDigraph
 
 __all__ = [
@@ -231,6 +232,7 @@ def subset_distance_rows(
     sources,
     *,
     predecessors: np.ndarray | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Distances from each of ``sources`` to every vertex, ``-1`` unreachable.
 
@@ -240,6 +242,9 @@ def subset_distance_rows(
     digraph costs one machine word per vertex per level.  Pass a precomputed
     ``predecessors`` matrix (:func:`padded_predecessor_matrix`) when calling
     repeatedly on one topology (the simulator's LRU row router does).
+
+    ``backend`` selects the kernel backend (see :mod:`repro.kernels`);
+    ``None`` resolves ``REPRO_KERNELS``.  All backends are bit-identical.
     """
     if predecessors is None:
         if isinstance(graph, np.ndarray):
@@ -261,6 +266,12 @@ def subset_distance_rows(
         return rows
     sweep = _SubsetSweep(predecessors, sources)
     rows[np.arange(k), sources] = 0
+    kern = _kernels.get_kernels(backend)
+    if kern is not None:
+        kern.subset_rows_sweep(
+            sweep.predecessors, sweep.state, np.empty_like(sweep.state), rows
+        )
+        return rows
     level = 0
     while True:
         previous = sweep.state
@@ -279,6 +290,7 @@ def _subset_eccentricities(
     graph: BaseDigraph | np.ndarray,
     sources: np.ndarray,
     upper_bound: int | None,
+    backend: str | None = None,
 ) -> tuple[np.ndarray, bool]:
     """``batched_eccentricities`` restricted to a subset of sources.
 
@@ -305,6 +317,23 @@ def _subset_eccentricities(
     if k == 0 or n == 0:
         return ecc, False
     sweep = _SubsetSweep(predecessors, sources)
+    kern = _kernels.get_kernels(backend)
+    if kern is not None:
+        words = sweep.state.shape[1]
+        full = np.full(words, _ALL_ONES, dtype=np.uint64)
+        remainder = k % _WORD_BITS
+        if remainder:
+            full[-1] = (np.uint64(1) << np.uint64(remainder)) - np.uint64(1)
+        aborted = kern.subset_ecc_sweep(
+            sweep.predecessors,
+            sweep.state,
+            np.empty_like(sweep.state),
+            full,
+            np.zeros(words, dtype=np.uint64),
+            ecc,
+            -1 if upper_bound is None else int(upper_bound),
+        )
+        return ecc, bool(aborted)
     done = sweep.complete_columns()
     ecc[done] = 0
     level = 0
@@ -325,6 +354,7 @@ def batched_eccentricities(
     upper_bound: int | None = None,
     *,
     sources=None,
+    backend: str | None = None,
 ) -> tuple[np.ndarray, bool]:
     """Out-eccentricity of every vertex, all sources swept at once.
 
@@ -358,9 +388,12 @@ def batched_eccentricities(
         strong connectivity — check ``(ecc >= 0).all()`` (or pre-screen, as
         :func:`repro.otis.search.h_diameter` does) before trusting
         ``ecc.max()``.
+
+    ``backend`` selects the kernel backend (see :mod:`repro.kernels`);
+    ``None`` resolves ``REPRO_KERNELS``.  All backends are bit-identical.
     """
     if sources is not None:
-        return _subset_eccentricities(graph, sources, upper_bound)
+        return _subset_eccentricities(graph, sources, upper_bound, backend)
     successors = (
         graph if isinstance(graph, np.ndarray) else padded_successor_matrix(graph)
     )
@@ -369,6 +402,18 @@ def batched_eccentricities(
     if n == 0:
         return ecc, False
     sweep = _BitSweep(successors)
+    kern = _kernels.get_kernels(backend)
+    if kern is not None:
+        aborted = kern.ecc_sweep(
+            sweep.successors,
+            sweep.reach,
+            np.empty_like(sweep.reach),
+            sweep._full_row,
+            ecc,
+            np.zeros(n, dtype=np.uint8),
+            -1 if upper_bound is None else int(upper_bound),
+        )
+        return ecc, bool(aborted)
     done = sweep.complete_rows()
     ecc[done] = 0
     level = 0

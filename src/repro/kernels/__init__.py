@@ -1,0 +1,206 @@
+"""Compiled kernel backends for the two engine hot loops.
+
+The uint64 bit-sweep behind :mod:`repro.graphs.apsp` and the
+same-timestamp round resolution behind
+:class:`repro.simulation.network.BatchedNetworkSimulator` each have a
+compiled implementation here, selected at run time:
+
+``numba``
+    :func:`numba.njit` over the shared jittable source
+    (:mod:`repro.kernels._pyimpl`).  Used when numba is importable.
+``cnative``
+    The same loops as C, compiled once with the system C compiler and
+    loaded via ctypes (:mod:`repro.kernels.native`).  Used when numba is
+    absent but a working compiler is available.
+``numpy``
+    No kernels at all — the engines run their original vectorised numpy
+    paths.  Always available; this is the reference the differential tests
+    compare every backend against, and results are **bit-identical** across
+    all three by contract (see ``tests/test_kernel_parity.py`` and
+    ``docs/kernels.md``).
+
+Selection: the ``REPRO_KERNELS`` environment variable (``auto`` — the
+default — or an explicit backend name) decides the process-wide default;
+``batched_eccentricities(..., backend=...)`` /
+``BatchedNetworkSimulator(..., kernels=...)`` override per call site.
+Requesting an unavailable backend explicitly warns and falls back to
+numpy; ``auto`` silently picks the best available
+(``numba`` > ``cnative`` > ``numpy``).
+
+The active backend is part of result identity: it joins
+``code_version()`` / ``sim_code_version()`` (see ``repro.otis.sweep`` and
+``repro.simulation.sharding``), so on-disk caches and chunk stores can
+never silently mix backends even though the results are bit-identical —
+an intentionally conservative contract.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "ENV_VAR",
+    "available_backends",
+    "resolve_backend",
+    "active_backend",
+    "get_kernels",
+    "warmup",
+    "diagnostics",
+]
+
+#: All backend names, in ``auto`` preference order.
+KERNEL_BACKENDS = ("numba", "cnative", "numpy")
+
+#: The environment override: ``auto`` or one of :data:`KERNEL_BACKENDS`.
+ENV_VAR = "REPRO_KERNELS"
+
+_probe_cache: dict[str, bool] = {}
+
+
+def _probe(backend: str) -> bool:
+    """Is ``backend`` usable in this process?  (Cached; may compile.)"""
+    if backend == "numpy":
+        return True
+    cached = _probe_cache.get(backend)
+    if cached is not None:
+        return cached
+    ok = False
+    if backend == "numba":
+        try:
+            from repro.kernels.numba_backend import build_numba_kernels  # noqa: F401
+
+            ok = True
+        except ImportError:
+            ok = False
+    elif backend == "cnative":
+        try:
+            from repro.kernels.native import NativeBuildError, build_native_kernels
+
+            try:
+                build_native_kernels()
+                ok = True
+            except NativeBuildError:
+                ok = False
+        except ImportError:  # pragma: no cover - ctypes is stdlib
+            ok = False
+    _probe_cache[backend] = ok
+    return ok
+
+
+def _reset_probe_cache() -> None:
+    """Forget probe results (test hook — lets tests simulate absent backends)."""
+    _probe_cache.clear()
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backends usable in this process, in preference order."""
+    return tuple(b for b in KERNEL_BACKENDS if _probe(b))
+
+
+def resolve_backend(request: str | None = None) -> str:
+    """Resolve a backend request to an available backend name.
+
+    ``request=None`` reads :data:`ENV_VAR` (default ``auto``).  ``auto``
+    picks the first available backend in :data:`KERNEL_BACKENDS` order.  An
+    explicit, unavailable backend warns (``RuntimeWarning``) and resolves
+    to ``numpy`` — never an error, so a pinned configuration still runs
+    anywhere.  An unknown name raises ``ValueError`` (that is a typo, not
+    an environment problem).
+    """
+    if request is None:
+        request = os.environ.get(ENV_VAR, "auto") or "auto"
+    request = request.strip().lower()
+    if request == "auto":
+        for backend in KERNEL_BACKENDS:
+            if _probe(backend):
+                return backend
+        return "numpy"  # unreachable (numpy always probes True); explicit anyway
+    if request not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {request!r}; expected 'auto' or one of "
+            f"{', '.join(KERNEL_BACKENDS)}"
+        )
+    if not _probe(request):
+        warnings.warn(
+            f"kernel backend {request!r} is unavailable in this environment; "
+            f"falling back to 'numpy'",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "numpy"
+    return request
+
+
+def active_backend() -> str:
+    """The backend the current environment resolves to (no override)."""
+    return resolve_backend(None)
+
+
+def get_kernels(backend: str | None = None):
+    """The kernel namespace for ``backend`` (resolved), or None for numpy.
+
+    Returns an object with the six kernel functions (see
+    ``repro.kernels._pyimpl.KERNEL_NAMES``) for the compiled backends, and
+    ``None`` for ``numpy`` — callers treat ``None`` as "run the original
+    vectorised path".
+    """
+    resolved = resolve_backend(backend)
+    if resolved == "numpy":
+        return None
+    if resolved == "numba":
+        from repro.kernels.numba_backend import build_numba_kernels
+
+        return build_numba_kernels()
+    from repro.kernels.native import build_native_kernels
+
+    return build_native_kernels()
+
+
+def warmup(backend: str | None = None) -> str:
+    """Force-compile every kernel of the resolved backend; returns its name.
+
+    One tiny end-to-end call per engine seam: a 2-vertex eccentricity
+    sweep, a 1-source subset sweep, and a 2-message simulation.  After this
+    returns, no JIT or C compile cost can land inside a benchmark key or a
+    first request.  A no-op (beyond resolution) for ``numpy``.
+    """
+    resolved = resolve_backend(backend)
+    if resolved == "numpy":
+        return resolved
+    from repro.graphs.apsp import batched_eccentricities, subset_distance_rows
+    from repro.graphs.digraph import Digraph
+    from repro.simulation.network import BatchedNetworkSimulator
+
+    graph = Digraph(2, [(0, 1), (1, 0)])
+    batched_eccentricities(graph, backend=resolved)
+    batched_eccentricities(graph, 1, sources=[0], backend=resolved)
+    subset_distance_rows(graph, [0], backend=resolved)
+    sim = BatchedNetworkSimulator(graph, kernels=resolved)
+    sim.run_many([[(0, 1, 0.0), (1, 0, 0.0)]], return_messages=False)
+    return resolved
+
+
+def diagnostics() -> str:
+    """One line per backend for ``repro --version``-style output."""
+    requested = os.environ.get(ENV_VAR, "auto") or "auto"
+    active = active_backend()
+    lines = [f"kernels: {active} ({ENV_VAR}={requested})"]
+    for backend in KERNEL_BACKENDS:
+        status = "available" if _probe(backend) else "unavailable"
+        note = ""
+        if backend == "numba":
+            try:
+                import numba
+
+                note = f" (numba {numba.__version__})"
+            except ImportError:
+                note = " (numba not installed)"
+        elif backend == "cnative":
+            from repro.kernels import native
+
+            if _probe(backend):
+                note = f" ({native.library_path()})"
+        lines.append(f"  {backend}: {status}{note}")
+    return "\n".join(lines)

@@ -1,0 +1,699 @@
+r"""The compiled-kernel algorithms, written once in jittable scalar-loop form.
+
+This module is the *single source* of the kernel semantics: every backend
+executes exactly this code —
+
+* the ``numba`` backend jits each function with ``numba.njit`` (see
+  :mod:`repro.kernels.numba_backend`), via the :func:`build_kernels` factory
+  so the inter-function calls resolve to the jitted dispatchers;
+* the ``cnative`` backend (:mod:`repro.kernels.native`) is a line-for-line C
+  translation of these loops, kept in the same function/argument order so
+  the two can be diffed side by side;
+* the plain-python build (``PY_KERNELS`` below) runs the very same loops
+  interpreted.  It is far too slow to be a production fallback (that role
+  belongs to the vectorised numpy paths in ``repro.graphs.apsp`` and
+  ``repro.simulation.network``), but it is invaluable as a third independent
+  executable reference for the differential tests in
+  ``tests/test_kernel_parity.py`` — it runs everywhere, numba or not.
+
+Bit-identity contract: every floating-point operation here replicates the
+reference engines op-for-op (``start = max(t, busy)``, ``finish = start +
+T``, one sequential add per FIFO slot — never ``start + k*T``), and all
+graph-side kernels are pure ``uint64``/``int64`` arithmetic, so results are
+*byte-identical* to the numpy paths, not merely close.
+
+The simulator kernels replicate :class:`repro.simulation.events.
+BatchEventQueue` *structurally*: a binary min-heap of **distinct** event
+times plus, per live time, a FIFO bucket of event slots (an intrusive
+linked list — append at tail, drain from head, so bucket order is insertion
+order, exactly the bucketed queue's sequence order).  Times map to buckets
+through an open-addressing hash on the canonicalised float bit pattern
+(``-0.0`` hashes as ``+0.0``, matching python dict keys); dead entries
+tombstone and the table rebuilds from the live heap when tombstones pile
+up.  Since bucket times are distinct, ordering the heap by time alone
+reproduces the ``(time, insertion-sequence)`` contract.
+
+The queue state is a flat tuple of arrays (``QUEUE``/``Q`` below)::
+
+    heap_time   f8[C]   heap of distinct live times (C = event capacity)
+    heap_bid    i64[C]  bucket id of each heap entry
+    bucket_head i64[C]  per-bucket-id first slot
+    bucket_tail i64[C]  per-bucket-id last slot
+    next_slot   i64[C]  intrusive linked list over event slots (-1 = end)
+    free_bids   i64[C]  bucket-id free list
+    hash_time   f8[H]   open-addressing table: key (H = power of two)
+    hash_state  i64[H]  bucket id, -1 empty, -2 tombstone
+    qstate      i64[4]  [0] heap size, [1] free-list top, [2] used slots
+    fbits       f8[1]   \ one shared 8-byte buffer, viewed both ways —
+    ubits       u64[1]  / portable float-bit punning for the hash
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+
+__all__ = ["build_kernels", "PY_KERNELS", "KERNEL_NAMES"]
+
+#: The functions every backend must provide (the dispatch surface).
+KERNEL_NAMES = (
+    "ecc_sweep",
+    "subset_rows_sweep",
+    "subset_ecc_sweep",
+    "make_round_driver",
+)
+
+
+def build_kernels(jit):
+    """Build the kernel set, wrapping every function with ``jit``.
+
+    ``jit`` is ``numba.njit`` for the numba backend and the identity
+    function for the interpreted reference build.  Helper functions are
+    jitted first so the main kernels call the jitted dispatchers (numba
+    resolves closed-over dispatcher objects but not plain python
+    functions).
+    """
+
+    # ------------------------------------------------------------- apsp
+    @jit
+    def ecc_sweep(succ, reach, scratch, full_row, ecc, done, upper_bound):
+        """Level-synchronous uint64 bit sweep with streaming eccentricities.
+
+        Mirrors ``repro.graphs.apsp._BitSweep`` + the ``batched_
+        eccentricities`` driver loop exactly: ``reach``/``scratch`` are the
+        two ``(n, words)`` ping-pong buffers (``reach`` pre-seeded with the
+        identity bits), ``ecc`` starts at ``-1``, ``done`` at 0.  Returns 1
+        when the ``upper_bound`` cut fired (``upper_bound < 0`` disables
+        it), 0 otherwise.
+        """
+        n = succ.shape[0]
+        d = succ.shape[1]
+        w = reach.shape[1]
+        num_done = 0
+        for u in range(n):
+            complete = True
+            for i in range(w):
+                if reach[u, i] != full_row[i]:
+                    complete = False
+                    break
+            if complete:
+                done[u] = 1
+                ecc[u] = 0
+                num_done += 1
+        cur = reach
+        nxt = scratch
+        level = 0
+        while num_done < n:
+            if upper_bound >= 0 and level >= upper_bound:
+                return 1
+            level += 1
+            if d == 0:
+                break  # no out-arcs anywhere: the sweep has converged
+            changed = False
+            for u in range(n):
+                s0 = succ[u, 0]
+                for i in range(w):
+                    nxt[u, i] = cur[s0, i]
+                for j in range(1, d):
+                    sj = succ[u, j]
+                    for i in range(w):
+                        nxt[u, i] |= cur[sj, i]
+                for i in range(w):
+                    nxt[u, i] |= cur[u, i]
+                if not changed:
+                    for i in range(w):
+                        if nxt[u, i] != cur[u, i]:
+                            changed = True
+                            break
+            if not changed:
+                break  # converged: the remaining sources can never complete
+            tmp = cur
+            cur = nxt
+            nxt = tmp
+            for u in range(n):
+                if done[u]:
+                    continue
+                complete = True
+                for i in range(w):
+                    if cur[u, i] != full_row[i]:
+                        complete = False
+                        break
+                if complete:
+                    done[u] = 1
+                    ecc[u] = level
+                    num_done += 1
+        return 0
+
+    @jit
+    def subset_rows_sweep(pred, state, scratch, rows):
+        """Transposed sweep extracting per-level distance rows.
+
+        ``state`` is the ``(n, kwords)`` bit matrix (bit ``b`` of row ``v``
+        = "``sources[b]`` reaches ``v``"), pre-seeded with the source bits;
+        ``rows`` is the ``(k, n)`` output, pre-filled with ``-1`` and the
+        ``rows[b, sources[b]] = 0`` diagonal.  Newly-set bits at level
+        ``L`` write ``rows[b, v] = L``.
+        """
+        n = pred.shape[0]
+        d = pred.shape[1]
+        w = state.shape[1]
+        if d == 0:
+            return
+        cur = state
+        nxt = scratch
+        level = 0
+        while True:
+            level += 1
+            changed = False
+            for v in range(n):
+                p0 = pred[v, 0]
+                for i in range(w):
+                    nxt[v, i] = cur[p0, i]
+                for j in range(1, d):
+                    pj = pred[v, j]
+                    for i in range(w):
+                        nxt[v, i] |= cur[pj, i]
+                for i in range(w):
+                    nxt[v, i] |= cur[v, i]
+                if not changed:
+                    for i in range(w):
+                        if nxt[v, i] != cur[v, i]:
+                            changed = True
+                            break
+            if not changed:
+                return
+            for v in range(n):
+                for i in range(w):
+                    x = nxt[v, i] & ~cur[v, i]
+                    while x:
+                        b = 0
+                        while (x >> np.uint64(b)) & np.uint64(1) == 0:
+                            b += 1
+                        rows[i * 64 + b, v] = level
+                        x &= x - np.uint64(1)
+            tmp = cur
+            cur = nxt
+            nxt = tmp
+
+    @jit
+    def subset_ecc_sweep(pred, state, scratch, full, done, ecc, upper_bound):
+        """Transposed sweep with streaming per-source eccentricities.
+
+        ``full`` masks the valid ``k`` bits; ``done`` is the
+        completed-source ``(kwords,)`` bitmask; ``ecc`` starts at ``-1``.
+        Returns 1 when the ``upper_bound`` cut fired.
+        """
+        n = pred.shape[0]
+        d = pred.shape[1]
+        w = state.shape[1]
+        k = ecc.shape[0]
+        num_done = 0
+        for i in range(w):
+            c = state[0, i]
+            for v in range(1, n):
+                c &= state[v, i]
+            c &= full[i]
+            done[i] = c
+            while c:
+                b = 0
+                while (c >> np.uint64(b)) & np.uint64(1) == 0:
+                    b += 1
+                ecc[i * 64 + b] = 0
+                num_done += 1
+                c &= c - np.uint64(1)
+        cur = state
+        nxt = scratch
+        level = 0
+        while num_done < k:
+            if upper_bound >= 0 and level >= upper_bound:
+                return 1
+            level += 1
+            if d == 0:
+                break
+            changed = False
+            for v in range(n):
+                p0 = pred[v, 0]
+                for i in range(w):
+                    nxt[v, i] = cur[p0, i]
+                for j in range(1, d):
+                    pj = pred[v, j]
+                    for i in range(w):
+                        nxt[v, i] |= cur[pj, i]
+                for i in range(w):
+                    nxt[v, i] |= cur[v, i]
+                if not changed:
+                    for i in range(w):
+                        if nxt[v, i] != cur[v, i]:
+                            changed = True
+                            break
+            if not changed:
+                break  # converged: the rest can never cover the digraph
+            tmp = cur
+            cur = nxt
+            nxt = tmp
+            for i in range(w):
+                c = cur[0, i]
+                for v in range(1, n):
+                    c &= cur[v, i]
+                newly = c & full[i] & ~done[i]
+                done[i] |= c & full[i]
+                while newly:
+                    b = 0
+                    while (newly >> np.uint64(b)) & np.uint64(1) == 0:
+                        b += 1
+                    ecc[i * 64 + b] = level
+                    num_done += 1
+                    newly &= newly - np.uint64(1)
+        return 0
+
+    # -------------------------------------------------------- event queue
+    @jit
+    def _hash_bits(fbits, ubits, t):
+        """Mixed bits of ``t`` (``-0.0`` canonicalised to ``+0.0``).
+
+        Shift/xor mixing only — multiplies would overflow-warn on
+        interpreted numpy scalars; collisions merely cost probes.
+        """
+        if t == 0.0:
+            t = 0.0  # +0.0 and -0.0 must share a bucket, like dict keys
+        fbits[0] = t
+        b = ubits[0]
+        b ^= b >> np.uint64(33)
+        b ^= b << np.uint64(25)
+        b ^= b >> np.uint64(13)
+        b ^= b << np.uint64(41)
+        b ^= b >> np.uint64(29)
+        return b
+
+    @jit
+    def _hash_locate(fbits, ubits, hash_time, hash_state, t):
+        """Find ``t``'s bucket: ``(bid, index)``, or ``(-1, insert index)``."""
+        mask = np.uint64(hash_state.shape[0] - 1)
+        idx = _hash_bits(fbits, ubits, t) & mask
+        first_free = -1
+        while True:
+            s = hash_state[idx]
+            if s == -1:
+                if first_free < 0:
+                    first_free = np.int64(idx)
+                return -1, first_free
+            if s == -2:
+                if first_free < 0:
+                    first_free = np.int64(idx)
+            elif hash_time[idx] == t:
+                return s, np.int64(idx)
+            idx = (idx + np.uint64(1)) & mask
+
+    @jit
+    def _queue_push(
+        heap_time,
+        heap_bid,
+        bucket_head,
+        bucket_tail,
+        next_slot,
+        free_bids,
+        hash_time,
+        hash_state,
+        qstate,
+        fbits,
+        ubits,
+        t,
+        slot,
+    ):
+        """Enqueue ``slot`` at time ``t`` (append to its FIFO bucket)."""
+        next_slot[slot] = -1
+        bid, ins = _hash_locate(fbits, ubits, hash_time, hash_state, t)
+        if bid >= 0:
+            next_slot[bucket_tail[bid]] = slot
+            bucket_tail[bid] = slot
+            return
+        qstate[1] -= 1
+        bid = free_bids[qstate[1]]
+        bucket_head[bid] = slot
+        bucket_tail[bid] = slot
+        if hash_state[ins] == -1:
+            qstate[2] += 1  # consuming a never-used table slot
+        hash_time[ins] = t
+        hash_state[ins] = bid
+        i = qstate[0]
+        qstate[0] = i + 1
+        while i > 0:
+            p = (i - 1) >> 1
+            if t < heap_time[p]:
+                heap_time[i] = heap_time[p]
+                heap_bid[i] = heap_bid[p]
+                i = p
+            else:
+                break
+        heap_time[i] = t
+        heap_bid[i] = bid
+        H = hash_state.shape[0]
+        if 2 * qstate[2] > H:
+            # rebuild from the live heap entries, dropping all tombstones
+            for x in range(H):
+                hash_state[x] = -1
+            mask = np.uint64(H - 1)
+            for e in range(qstate[0]):
+                te = heap_time[e]
+                idx = _hash_bits(fbits, ubits, te) & mask
+                while hash_state[idx] != -1:
+                    idx = (idx + np.uint64(1)) & mask
+                hash_time[idx] = te
+                hash_state[idx] = heap_bid[e]
+            qstate[2] = qstate[0]
+
+    @jit
+    def queue_schedule(
+        heap_time,
+        heap_bid,
+        bucket_head,
+        bucket_tail,
+        next_slot,
+        free_bids,
+        hash_time,
+        hash_state,
+        qstate,
+        fbits,
+        ubits,
+        slots,
+        times,
+    ):
+        """Enqueue one event per ``(slot, time)`` pair, in array order.
+
+        Array order is insertion order, exactly as
+        ``BatchEventQueue.schedule`` orders simultaneous pushes.
+        """
+        for c in range(slots.shape[0]):
+            _queue_push(
+                heap_time,
+                heap_bid,
+                bucket_head,
+                bucket_tail,
+                next_slot,
+                free_bids,
+                hash_time,
+                hash_state,
+                qstate,
+                fbits,
+                ubits,
+                times[c],
+                slots[c],
+            )
+
+    @jit
+    def pop_round(
+        heap_time,
+        heap_bid,
+        bucket_head,
+        bucket_tail,
+        next_slot,
+        free_bids,
+        hash_time,
+        hash_state,
+        qstate,
+        fbits,
+        ubits,
+        limit,
+        loc,
+        dst,
+        slots_out,
+        tails_out,
+        dests_out,
+        meta,
+    ):
+        """Drain the minimum-time bucket (up to ``limit`` events).
+
+        Writes the popped slots (in insertion order = sequence order) to
+        ``slots_out`` and the forwarding subset's current node /
+        destination to ``tails_out`` / ``dests_out`` (read-only pass: no
+        simulation state is mutated yet, so the router sees exactly what
+        the reference loop's per-event calls see).  A ``limit`` hit leaves
+        the bucket's remaining events queued at the same time, exactly like
+        ``BatchEventQueue.pop_batch(limit=...)``.  ``meta[0]`` = popped
+        count, ``meta[1]`` = forwarding count.
+        """
+        t = heap_time[0]
+        bid = heap_bid[0]
+        count = 0
+        nfwd = 0
+        cur = bucket_head[bid]
+        while cur >= 0 and count < limit:
+            slots_out[count] = cur
+            count += 1
+            node = loc[cur]
+            if node != dst[cur]:
+                tails_out[nfwd] = node
+                dests_out[nfwd] = dst[cur]
+                nfwd += 1
+            cur = next_slot[cur]
+        if cur >= 0:
+            bucket_head[bid] = cur  # limit hit: leftovers stay queued
+        else:
+            # bucket drained: retire it and pop the time off the heap
+            free_bids[qstate[1]] = bid
+            qstate[1] += 1
+            _, idx = _hash_locate(fbits, ubits, hash_time, hash_state, t)
+            hash_state[idx] = -2  # tombstone
+            size = qstate[0] - 1
+            qstate[0] = size
+            mt = heap_time[size]
+            mb = heap_bid[size]
+            i = 0
+            while True:
+                c = 2 * i + 1
+                if c >= size:
+                    break
+                if c + 1 < size and heap_time[c + 1] < heap_time[c]:
+                    c = c + 1
+                if heap_time[c] < mt:
+                    heap_time[i] = heap_time[c]
+                    heap_bid[i] = heap_bid[c]
+                    i = c
+                else:
+                    break
+            if size > 0:
+                heap_time[i] = mt
+                heap_bid[i] = mb
+        meta[0] = count
+        meta[1] = nfwd
+
+    @jit
+    def finish_round(
+        t,
+        T,
+        L,
+        count,
+        slots,
+        nxt,
+        loc,
+        dst,
+        hops,
+        arrival,
+        prev_link,
+        rep,
+        last_time,
+        busy_until,
+        queue_len,
+        max_queue,
+        tx_count,
+        group_keys,
+        group_ptr,
+        flat_links,
+        vertex_groups,
+        n,
+        m,
+        heap_time,
+        heap_bid,
+        bucket_head,
+        bucket_tail,
+        next_slot,
+        free_bids,
+        hash_time,
+        hash_state,
+        qstate,
+        fbits,
+        ubits,
+        out_links,
+        out_starts,
+        out_movers,
+        meta,
+    ):
+        """Resolve one popped batch with the literal reference semantics.
+
+        Events are processed one at a time in sequence order — FIFO-slot
+        release, arrival, earliest-free parallel-link greedy (strict ``<``
+        over ascending link ids = the reference ``min`` by ``(raw free
+        time, link id)``), sequential ``max(t, busy) + T`` accumulation —
+        so every float is produced by the same op sequence as
+        ``NetworkSimulator``.  ``nxt`` holds the router's next hops for the
+        forwarding subset, aligned with the order ``pop_round`` emitted
+        them.  Writes the per-transmission trace triple to ``out_*`` and
+        the moved-message count to ``meta[0]``.
+        """
+        j = 0
+        nm = 0
+        for k2 in range(count):
+            i = slots[k2]
+            r = rep[i]
+            last_time[r] = t
+            il = prev_link[i]
+            if il >= 0:
+                hops[i] += 1
+                queue_len[il] -= 1
+            node = loc[i]
+            if node == dst[i]:
+                arrival[i] = t
+                continue
+            nx = nxt[j]
+            j += 1
+            if nx < 0:
+                continue  # unreachable: drop (counted as undelivered)
+            # the vertex's groups are contiguous in the sorted key array, and
+            # there are at most out-degree of them: a linear probe of that
+            # tiny range beats a binary search over all groups
+            key = node * n + nx
+            g = -1
+            for q2 in range(vertex_groups[node], vertex_groups[node + 1]):
+                if group_keys[q2] == key:
+                    g = q2
+                    break
+            if g < 0:
+                continue  # no such arc (cannot happen for router-valid hops)
+            base = r * m
+            p0 = group_ptr[g]
+            p1 = group_ptr[g + 1]
+            best = base + flat_links[p0]
+            bb = busy_until[best]
+            for p in range(p0 + 1, p1):
+                cand = base + flat_links[p]
+                cb = busy_until[cand]
+                if cb < bb:
+                    best = cand
+                    bb = cb
+            start = t if t > bb else bb
+            finish = start + T
+            busy_until[best] = finish
+            depth = queue_len[best] + 1
+            queue_len[best] = depth
+            if depth > max_queue[r]:
+                max_queue[r] = depth
+            tx_count[r] += 1
+            prev_link[i] = best
+            loc[i] = nx
+            _queue_push(
+                heap_time,
+                heap_bid,
+                bucket_head,
+                bucket_tail,
+                next_slot,
+                free_bids,
+                hash_time,
+                hash_state,
+                qstate,
+                fbits,
+                ubits,
+                finish + L,
+                i,
+            )
+            out_links[nm] = best
+            out_starts[nm] = start
+            out_movers[nm] = i
+            nm += 1
+        meta[0] = nm
+
+    class RoundDriver:
+        """Pre-bound per-run driver: the arrays are captured once.
+
+        ``queue``/``msg``/``links``/``topo``/``bufs`` are the array tuples
+        documented in the module docstring and
+        ``repro.simulation.network._run_rounds_kernel``; binding them here
+        keeps the per-round python→kernel call down to a few scalars.
+        """
+
+        __slots__ = ("queue", "msg", "links", "topo", "bufs", "T", "L")
+
+        def __init__(self, queue, msg, links, topo, bufs, T, L):
+            self.queue = queue
+            self.msg = msg
+            self.links = links
+            self.topo = topo
+            self.bufs = bufs
+            self.T = T
+            self.L = L
+
+        def schedule(self, slots, times):
+            queue_schedule(*self.queue, slots, times)
+
+        def pop(self, limit):
+            loc, dst = self.msg[0], self.msg[1]
+            slots_buf, tails_buf, dests_buf, meta = (
+                self.bufs[0],
+                self.bufs[1],
+                self.bufs[2],
+                self.bufs[6],
+            )
+            pop_round(
+                *self.queue,
+                limit,
+                loc,
+                dst,
+                slots_buf,
+                tails_buf,
+                dests_buf,
+                meta,
+            )
+
+        def finish(self, t, count, nxt):
+            loc, dst, hops, arrival, prev_link, rep = self.msg
+            busy_until, queue_len, max_queue, tx_count, last_time = self.links
+            group_keys, group_ptr, flat_links, vertex_groups, n, m = self.topo
+            slots_buf, _, _, out_links, out_starts, out_movers, meta = self.bufs
+            finish_round(
+                t,
+                self.T,
+                self.L,
+                count,
+                slots_buf,
+                nxt,
+                loc,
+                dst,
+                hops,
+                arrival,
+                prev_link,
+                rep,
+                last_time,
+                busy_until,
+                queue_len,
+                max_queue,
+                tx_count,
+                group_keys,
+                group_ptr,
+                flat_links,
+                vertex_groups,
+                n,
+                m,
+                *self.queue,
+                out_links,
+                out_starts,
+                out_movers,
+                meta,
+            )
+
+    def make_round_driver(queue, msg, links, topo, bufs, T, L):
+        return RoundDriver(queue, msg, links, topo, bufs, T, L)
+
+    return SimpleNamespace(
+        ecc_sweep=ecc_sweep,
+        subset_rows_sweep=subset_rows_sweep,
+        subset_ecc_sweep=subset_ecc_sweep,
+        make_round_driver=make_round_driver,
+        # exposed for the differential tests (not used by the engines)
+        queue_schedule=queue_schedule,
+        pop_round=pop_round,
+        finish_round=finish_round,
+    )
+
+
+#: The interpreted reference build (slow; for differential tests only).
+PY_KERNELS = build_kernels(lambda f: f)

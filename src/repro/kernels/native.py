@@ -1,0 +1,731 @@
+"""The ``cnative`` backend: the kernels as C, compiled on demand.
+
+This is a line-for-line translation of :mod:`repro.kernels._pyimpl` (same
+functions, same argument order, same loop structure — the two files are
+meant to be read side by side).  The C source is embedded below, compiled
+once per source digest with the system C compiler into a shared library
+under the kernel cache directory (``$REPRO_KERNELS_CACHE`` or
+``~/.cache/repro-kernels``), and loaded via :mod:`ctypes`.  Builds are
+atomic (tmp + :func:`os.replace`) and keyed by the sha256 of the source, so
+concurrent processes race benignly and a source change can never pick up a
+stale binary.
+
+The only structural difference from the python source: C punned the float
+bits with ``memcpy`` instead of the numpy view pair, and the round driver
+(:func:`make_round_driver` below) pre-computes every ``ctypes`` pointer
+once per run — the arrays live for the whole ``run_many`` call, and taking
+``arr.ctypes.data_as(...)`` per round costs more than the kernels
+themselves on small rounds.
+
+Anything going wrong — no compiler, sandboxed filesystem, a cross-compile
+toolchain that produces unloadable objects — raises
+:class:`NativeBuildError`, which the dispatch layer in
+:mod:`repro.kernels` treats as "backend unavailable" (falling back to
+numpy); it is never fatal.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+from pathlib import Path
+from types import SimpleNamespace
+
+__all__ = ["NativeBuildError", "build_native_kernels", "library_path"]
+
+
+class NativeBuildError(RuntimeError):
+    """The C backend could not be built or loaded on this machine."""
+
+
+C_SOURCE = r"""
+/* repro.kernels native backend — translated from _pyimpl.py (keep in sync).
+ *
+ * All arrays are C-contiguous; int64/uint64/double/uint8 match the numpy
+ * dtypes the wrappers enforce.  The event queue replicates
+ * repro.simulation.events.BatchEventQueue structurally: a min-heap of
+ * DISTINCT times, per-time FIFO buckets as intrusive linked lists over the
+ * event slots, and an open-addressing time->bucket hash with tombstones
+ * (state -1 = empty, -2 = dead).  Distinct heap times make time-only
+ * ordering reproduce the (time, insertion-sequence) contract.
+ */
+#include <stdint.h>
+
+#define EXPORT __attribute__((visibility("default")))
+
+/* ------------------------------------------------------------------ apsp */
+
+EXPORT int64_t ecc_sweep(
+    const int64_t *succ, uint64_t *reach, uint64_t *scratch,
+    const uint64_t *full_row, int64_t *ecc, uint8_t *done,
+    int64_t n, int64_t d, int64_t w, int64_t upper_bound)
+{
+    int64_t num_done = 0;
+    for (int64_t u = 0; u < n; u++) {
+        int complete = 1;
+        for (int64_t i = 0; i < w; i++) {
+            if (reach[u * w + i] != full_row[i]) { complete = 0; break; }
+        }
+        if (complete) { done[u] = 1; ecc[u] = 0; num_done++; }
+    }
+    uint64_t *cur = reach;
+    uint64_t *nxt = scratch;
+    int64_t level = 0;
+    while (num_done < n) {
+        if (upper_bound >= 0 && level >= upper_bound) return 1;
+        level++;
+        if (d == 0) break;  /* no out-arcs anywhere: converged */
+        int changed = 0;
+        for (int64_t u = 0; u < n; u++) {
+            const int64_t *row = succ + u * d;
+            uint64_t *out = nxt + u * w;
+            const uint64_t *s0 = cur + row[0] * w;
+            for (int64_t i = 0; i < w; i++) out[i] = s0[i];
+            for (int64_t j = 1; j < d; j++) {
+                const uint64_t *sj = cur + row[j] * w;
+                for (int64_t i = 0; i < w; i++) out[i] |= sj[i];
+            }
+            const uint64_t *self = cur + u * w;
+            for (int64_t i = 0; i < w; i++) out[i] |= self[i];
+            if (!changed) {
+                for (int64_t i = 0; i < w; i++) {
+                    if (out[i] != self[i]) { changed = 1; break; }
+                }
+            }
+        }
+        if (!changed) break;  /* converged: the rest can never complete */
+        uint64_t *tmp = cur; cur = nxt; nxt = tmp;
+        for (int64_t u = 0; u < n; u++) {
+            if (done[u]) continue;
+            int complete = 1;
+            for (int64_t i = 0; i < w; i++) {
+                if (cur[u * w + i] != full_row[i]) { complete = 0; break; }
+            }
+            if (complete) { done[u] = 1; ecc[u] = level; num_done++; }
+        }
+    }
+    return 0;
+}
+
+EXPORT void subset_rows_sweep(
+    const int64_t *pred, uint64_t *state, uint64_t *scratch,
+    int64_t *rows, int64_t n, int64_t d, int64_t w)
+{
+    if (d == 0) return;
+    uint64_t *cur = state;
+    uint64_t *nxt = scratch;
+    int64_t level = 0;
+    for (;;) {
+        level++;
+        int changed = 0;
+        for (int64_t v = 0; v < n; v++) {
+            const int64_t *row = pred + v * d;
+            uint64_t *out = nxt + v * w;
+            const uint64_t *p0 = cur + row[0] * w;
+            for (int64_t i = 0; i < w; i++) out[i] = p0[i];
+            for (int64_t j = 1; j < d; j++) {
+                const uint64_t *pj = cur + row[j] * w;
+                for (int64_t i = 0; i < w; i++) out[i] |= pj[i];
+            }
+            const uint64_t *self = cur + v * w;
+            for (int64_t i = 0; i < w; i++) out[i] |= self[i];
+            if (!changed) {
+                for (int64_t i = 0; i < w; i++) {
+                    if (out[i] != self[i]) { changed = 1; break; }
+                }
+            }
+        }
+        if (!changed) return;
+        for (int64_t v = 0; v < n; v++) {
+            for (int64_t i = 0; i < w; i++) {
+                uint64_t x = nxt[v * w + i] & ~cur[v * w + i];
+                while (x) {
+                    int64_t b = __builtin_ctzll(x);
+                    rows[(i * 64 + b) * n + v] = level;
+                    x &= x - 1;
+                }
+            }
+        }
+        uint64_t *tmp = cur; cur = nxt; nxt = tmp;
+    }
+}
+
+EXPORT int64_t subset_ecc_sweep(
+    const int64_t *pred, uint64_t *state, uint64_t *scratch,
+    const uint64_t *full, uint64_t *done, int64_t *ecc,
+    int64_t n, int64_t d, int64_t w, int64_t k, int64_t upper_bound)
+{
+    int64_t num_done = 0;
+    for (int64_t i = 0; i < w; i++) {
+        uint64_t c = state[i];
+        for (int64_t v = 1; v < n; v++) c &= state[v * w + i];
+        c &= full[i];
+        done[i] = c;
+        while (c) {
+            int64_t b = __builtin_ctzll(c);
+            ecc[i * 64 + b] = 0;
+            num_done++;
+            c &= c - 1;
+        }
+    }
+    uint64_t *cur = state;
+    uint64_t *nxt = scratch;
+    int64_t level = 0;
+    while (num_done < k) {
+        if (upper_bound >= 0 && level >= upper_bound) return 1;
+        level++;
+        if (d == 0) break;
+        int changed = 0;
+        for (int64_t v = 0; v < n; v++) {
+            const int64_t *row = pred + v * d;
+            uint64_t *out = nxt + v * w;
+            const uint64_t *p0 = cur + row[0] * w;
+            for (int64_t i = 0; i < w; i++) out[i] = p0[i];
+            for (int64_t j = 1; j < d; j++) {
+                const uint64_t *pj = cur + row[j] * w;
+                for (int64_t i = 0; i < w; i++) out[i] |= pj[i];
+            }
+            const uint64_t *self = cur + v * w;
+            for (int64_t i = 0; i < w; i++) out[i] |= self[i];
+            if (!changed) {
+                for (int64_t i = 0; i < w; i++) {
+                    if (out[i] != self[i]) { changed = 1; break; }
+                }
+            }
+        }
+        if (!changed) break;  /* converged: the rest can never cover */
+        uint64_t *tmp = cur; cur = nxt; nxt = tmp;
+        for (int64_t i = 0; i < w; i++) {
+            uint64_t c = cur[i];
+            for (int64_t v = 1; v < n; v++) c &= cur[v * w + i];
+            uint64_t newly = (c & full[i]) & ~done[i];
+            done[i] |= c & full[i];
+            while (newly) {
+                int64_t b = __builtin_ctzll(newly);
+                ecc[i * 64 + b] = level;
+                num_done++;
+                newly &= newly - 1;
+            }
+        }
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------- simulator */
+
+/* The queue arrays travel together; same order as _pyimpl's QUEUE tuple
+ * (sans the python-only fbits/ubits punning pair). */
+#define QUEUE_PARAMS \
+    double *heap_time, int64_t *heap_bid, \
+    int64_t *bucket_head, int64_t *bucket_tail, int64_t *next_slot, \
+    int64_t *free_bids, double *hash_time, int64_t *hash_state, \
+    int64_t *qstate, int64_t H
+#define QUEUE_ARGS \
+    heap_time, heap_bid, bucket_head, bucket_tail, next_slot, \
+    free_bids, hash_time, hash_state, qstate, H
+
+static inline uint64_t hash_bits(double t)
+{
+    if (t == 0.0) t = 0.0;  /* +0.0 and -0.0 share a bucket, like dict keys */
+    uint64_t b;
+    __builtin_memcpy(&b, &t, 8);
+    b ^= b >> 33; b ^= b << 25; b ^= b >> 13; b ^= b << 41; b ^= b >> 29;
+    return b;
+}
+
+/* Find t's bucket id (idx_out = its table index), or -1 (idx_out = where
+ * to insert: the first tombstone probed, else the empty slot). */
+static int64_t hash_locate(
+    const double *hash_time, const int64_t *hash_state, int64_t H,
+    double t, int64_t *idx_out)
+{
+    uint64_t mask = (uint64_t)(H - 1);
+    uint64_t idx = hash_bits(t) & mask;
+    int64_t first_free = -1;
+    for (;;) {
+        int64_t s = hash_state[idx];
+        if (s == -1) {
+            *idx_out = first_free >= 0 ? first_free : (int64_t)idx;
+            return -1;
+        }
+        if (s == -2) {
+            if (first_free < 0) first_free = (int64_t)idx;
+        } else if (hash_time[idx] == t) {
+            *idx_out = (int64_t)idx;
+            return s;
+        }
+        idx = (idx + 1) & mask;
+    }
+}
+
+/* Enqueue slot at time t: append to the existing bucket (FIFO), or claim
+ * a bucket id off the free list and push the new distinct time onto the
+ * heap.  qstate = [heap size, free-list top, used hash slots]. */
+static void queue_push(QUEUE_PARAMS, double t, int64_t slot)
+{
+    next_slot[slot] = -1;
+    int64_t ins;
+    int64_t bid = hash_locate(hash_time, hash_state, H, t, &ins);
+    if (bid >= 0) {
+        next_slot[bucket_tail[bid]] = slot;
+        bucket_tail[bid] = slot;
+        return;
+    }
+    qstate[1]--;
+    bid = free_bids[qstate[1]];
+    bucket_head[bid] = slot;
+    bucket_tail[bid] = slot;
+    if (hash_state[ins] == -1) qstate[2]++;  /* consuming a never-used slot */
+    hash_time[ins] = t;
+    hash_state[ins] = bid;
+    int64_t i = qstate[0]++;
+    while (i > 0) {
+        int64_t p = (i - 1) >> 1;
+        if (t < heap_time[p]) {
+            heap_time[i] = heap_time[p];
+            heap_bid[i] = heap_bid[p];
+            i = p;
+        } else break;
+    }
+    heap_time[i] = t;
+    heap_bid[i] = bid;
+    if (2 * qstate[2] > H) {
+        /* rebuild from the live heap entries, dropping all tombstones */
+        for (int64_t x = 0; x < H; x++) hash_state[x] = -1;
+        uint64_t mask = (uint64_t)(H - 1);
+        for (int64_t e = 0; e < qstate[0]; e++) {
+            double te = heap_time[e];
+            uint64_t idx = hash_bits(te) & mask;
+            while (hash_state[idx] != -1) idx = (idx + 1) & mask;
+            hash_time[idx] = te;
+            hash_state[idx] = heap_bid[e];
+        }
+        qstate[2] = qstate[0];
+    }
+}
+
+EXPORT void queue_schedule(
+    QUEUE_PARAMS, const int64_t *slots, const double *times, int64_t count)
+{
+    for (int64_t c = 0; c < count; c++)
+        queue_push(QUEUE_ARGS, times[c], slots[c]);
+}
+
+EXPORT void pop_round(
+    QUEUE_PARAMS, int64_t limit, const int64_t *loc, const int64_t *dst,
+    int64_t *slots_out, int64_t *tails_out, int64_t *dests_out, int64_t *meta)
+{
+    double t = heap_time[0];
+    int64_t bid = heap_bid[0];
+    int64_t count = 0;
+    int64_t nfwd = 0;
+    int64_t cur = bucket_head[bid];
+    while (cur >= 0 && count < limit) {
+        slots_out[count++] = cur;
+        int64_t node = loc[cur];
+        if (node != dst[cur]) {
+            tails_out[nfwd] = node;
+            dests_out[nfwd] = dst[cur];
+            nfwd++;
+        }
+        cur = next_slot[cur];
+    }
+    if (cur >= 0) {
+        bucket_head[bid] = cur;  /* limit hit: leftovers stay queued at t */
+    } else {
+        /* bucket drained: retire it and pop the time off the heap */
+        free_bids[qstate[1]] = bid;
+        qstate[1]++;
+        int64_t idx;
+        hash_locate(hash_time, hash_state, H, t, &idx);
+        hash_state[idx] = -2;  /* tombstone */
+        int64_t size = qstate[0] - 1;
+        qstate[0] = size;
+        double mt = heap_time[size];
+        int64_t mb = heap_bid[size];
+        int64_t i = 0;
+        for (;;) {
+            int64_t c = 2 * i + 1;
+            if (c >= size) break;
+            if (c + 1 < size && heap_time[c + 1] < heap_time[c]) c = c + 1;
+            if (heap_time[c] < mt) {
+                heap_time[i] = heap_time[c];
+                heap_bid[i] = heap_bid[c];
+                i = c;
+            } else break;
+        }
+        if (size > 0) { heap_time[i] = mt; heap_bid[i] = mb; }
+    }
+    meta[0] = count;
+    meta[1] = nfwd;
+}
+
+EXPORT void finish_round(
+    double t, double T, double L, int64_t count,
+    const int64_t *slots, const int64_t *nxt,
+    int64_t *loc, const int64_t *dst, int64_t *hops, double *arrival,
+    int64_t *prev_link, const int64_t *rep, double *last_time,
+    double *busy_until, int64_t *queue_len, int64_t *max_queue,
+    int64_t *tx_count,
+    const int64_t *group_keys, const int64_t *group_ptr,
+    const int64_t *flat_links, const int64_t *vertex_groups,
+    int64_t n, int64_t m,
+    QUEUE_PARAMS,
+    int64_t *out_links, double *out_starts, int64_t *out_movers, int64_t *meta)
+{
+    int64_t j = 0;
+    int64_t nm = 0;
+    for (int64_t k2 = 0; k2 < count; k2++) {
+        int64_t i = slots[k2];
+        int64_t r = rep[i];
+        last_time[r] = t;
+        int64_t il = prev_link[i];
+        if (il >= 0) {
+            hops[i]++;
+            queue_len[il]--;
+        }
+        int64_t node = loc[i];
+        if (node == dst[i]) {
+            arrival[i] = t;
+            continue;
+        }
+        int64_t nx = nxt[j++];
+        if (nx < 0) continue;  /* unreachable: drop */
+        /* the vertex's groups are contiguous in the sorted key array and
+           number at most the out-degree: linear-probe that tiny range */
+        int64_t key = node * n + nx;
+        int64_t g = -1;
+        for (int64_t q2 = vertex_groups[node]; q2 < vertex_groups[node + 1]; q2++) {
+            if (group_keys[q2] == key) { g = q2; break; }
+        }
+        if (g < 0) continue;
+        int64_t base = r * m;
+        int64_t p0 = group_ptr[g], p1 = group_ptr[g + 1];
+        int64_t best = base + flat_links[p0];
+        double bb = busy_until[best];
+        for (int64_t p = p0 + 1; p < p1; p++) {
+            int64_t cand = base + flat_links[p];
+            double cb = busy_until[cand];
+            if (cb < bb) { best = cand; bb = cb; }
+        }
+        double start = t > bb ? t : bb;
+        double finish = start + T;
+        busy_until[best] = finish;
+        int64_t depth = queue_len[best] + 1;
+        queue_len[best] = depth;
+        if (depth > max_queue[r]) max_queue[r] = depth;
+        tx_count[r]++;
+        prev_link[i] = best;
+        loc[i] = nx;
+        queue_push(QUEUE_ARGS, finish + L, i);
+        out_links[nm] = best;
+        out_starts[nm] = start;
+        out_movers[nm] = i;
+        nm++;
+    }
+    meta[0] = nm;
+}
+"""
+
+SOURCE_DIGEST = hashlib.sha256(C_SOURCE.encode()).hexdigest()
+
+_BUILD_LOCK = threading.Lock()
+_LIB_CACHE: dict[str, SimpleNamespace] = {}
+
+_i64 = ctypes.POINTER(ctypes.c_int64)
+_u64 = ctypes.POINTER(ctypes.c_uint64)
+_u8 = ctypes.POINTER(ctypes.c_uint8)
+_f64 = ctypes.POINTER(ctypes.c_double)
+_I = ctypes.c_int64
+_D = ctypes.c_double
+
+# The C-side expansion of QUEUE_PARAMS.
+_QSIG = [_f64, _i64, _i64, _i64, _i64, _i64, _f64, _i64, _i64, _I]
+
+_SIGNATURES = {
+    "ecc_sweep": (_I, [_i64, _u64, _u64, _u64, _i64, _u8, _I, _I, _I, _I]),
+    "subset_rows_sweep": (None, [_i64, _u64, _u64, _i64, _I, _I, _I]),
+    "subset_ecc_sweep": (
+        _I,
+        [_i64, _u64, _u64, _u64, _u64, _i64, _I, _I, _I, _I, _I],
+    ),
+    "queue_schedule": (None, _QSIG + [_i64, _f64, _I]),
+    "pop_round": (None, _QSIG + [_I, _i64, _i64, _i64, _i64, _i64, _i64]),
+    "finish_round": (
+        None,
+        # fmt: off
+        [_D, _D, _D, _I,                      # t, T, L, count
+         _i64, _i64,                          # slots, nxt
+         _i64, _i64, _i64, _f64,              # loc, dst, hops, arrival
+         _i64, _i64, _f64,                    # prev_link, rep, last_time
+         _f64, _i64, _i64, _i64,              # busy_until, queue_len, max_queue, tx_count
+         _i64, _i64, _i64, _i64,              # group_keys, group_ptr, flat_links, vertex_groups
+         _I, _I]                              # n, m
+        + _QSIG
+        + [_i64, _f64, _i64, _i64],           # out_links, out_starts, out_movers, meta
+        # fmt: on
+    ),
+}
+
+
+def cache_dir() -> Path:
+    """The directory compiled kernel libraries live in."""
+    override = os.environ.get("REPRO_KERNELS_CACHE")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-kernels"
+
+
+def library_path() -> Path:
+    """Where the shared library for the current source digest belongs."""
+    suffix = ".dll" if os.name == "nt" else ".so"
+    return cache_dir() / f"repro_kernels_{SOURCE_DIGEST[:16]}{suffix}"
+
+
+def _find_compiler() -> str:
+    override = os.environ.get("REPRO_CC")
+    if override:
+        return override
+    for cc in ("cc", "gcc", "clang"):
+        path = shutil.which(cc)
+        if path:
+            return path
+    raise NativeBuildError("no C compiler found (cc/gcc/clang; set REPRO_CC)")
+
+
+def _compile() -> Path:
+    lib = library_path()
+    if lib.exists():
+        return lib
+    cc = _find_compiler()
+    directory = lib.parent
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise NativeBuildError(f"cannot create kernel cache {directory}: {exc}")
+    src = directory / f"repro_kernels_{SOURCE_DIGEST[:16]}.c"
+    fd, tmp = tempfile.mkstemp(suffix=lib.suffix, dir=directory)
+    os.close(fd)
+    try:
+        src.write_text(C_SOURCE)
+        cmd = [cc, "-O2", "-shared", "-fPIC", "-o", tmp, str(src)]
+        if sys.platform == "darwin":
+            cmd.insert(1, "-dynamiclib")
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=120
+        )
+        if proc.returncode != 0:
+            raise NativeBuildError(
+                f"kernel compile failed ({' '.join(cmd)}):\n{proc.stderr}"
+            )
+        os.replace(tmp, lib)  # atomic: concurrent builders race benignly
+    except NativeBuildError:
+        raise
+    except Exception as exc:
+        raise NativeBuildError(f"kernel compile failed: {exc}")
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return lib
+
+
+def _load(lib_path: Path) -> ctypes.CDLL:
+    try:
+        lib = ctypes.CDLL(str(lib_path))
+    except OSError as exc:
+        raise NativeBuildError(f"cannot load kernel library {lib_path}: {exc}")
+    for name, (restype, argtypes) in _SIGNATURES.items():
+        fn = getattr(lib, name)
+        fn.restype = restype
+        fn.argtypes = argtypes
+    return lib
+
+
+def _ptr(arr, ctype):
+    return arr.ctypes.data_as(ctype)
+
+
+def _queue_ptrs(queue):
+    """The QUEUE_ARGS tuple for a python-side queue-array tuple.
+
+    The trailing ``fbits``/``ubits`` punning pair is python-only (C puns
+    with ``memcpy``) and is dropped here.
+    """
+    (heap_time, heap_bid, bucket_head, bucket_tail, next_slot,
+     free_bids, hash_time, hash_state, qstate, _fbits, _ubits) = queue
+    return (
+        _ptr(heap_time, _f64), _ptr(heap_bid, _i64),
+        _ptr(bucket_head, _i64), _ptr(bucket_tail, _i64),
+        _ptr(next_slot, _i64), _ptr(free_bids, _i64),
+        _ptr(hash_time, _f64), _ptr(hash_state, _i64),
+        _ptr(qstate, _i64), hash_state.shape[0],
+    )
+
+
+def build_native_kernels() -> SimpleNamespace:
+    """Compile (or reuse) the shared library and return wrapped kernels.
+
+    The wrappers take the exact argument lists of the `_pyimpl` kernels
+    (arrays plus python-int scalars) and derive the C-side shape arguments
+    from the array shapes; arrays must be C-contiguous with the documented
+    dtypes — the integration layer allocates them that way.
+
+    Raises :class:`NativeBuildError` when the backend is unavailable.
+    """
+    with _BUILD_LOCK:
+        cached = _LIB_CACHE.get(SOURCE_DIGEST)
+        if cached is not None:
+            return cached
+        lib = _load(_compile())
+
+        def ecc_sweep(succ, reach, scratch, full_row, ecc, done, upper_bound):
+            n, d = succ.shape
+            w = reach.shape[1]
+            return int(
+                lib.ecc_sweep(
+                    _ptr(succ, _i64), _ptr(reach, _u64), _ptr(scratch, _u64),
+                    _ptr(full_row, _u64), _ptr(ecc, _i64), _ptr(done, _u8),
+                    n, d, w, upper_bound,
+                )
+            )
+
+        def subset_rows_sweep(pred, state, scratch, rows):
+            n, d = pred.shape
+            w = state.shape[1]
+            lib.subset_rows_sweep(
+                _ptr(pred, _i64), _ptr(state, _u64), _ptr(scratch, _u64),
+                _ptr(rows, _i64), n, d, w,
+            )
+
+        def subset_ecc_sweep(pred, state, scratch, full, done, ecc, upper_bound):
+            n, d = pred.shape
+            w = state.shape[1]
+            k = ecc.shape[0]
+            return int(
+                lib.subset_ecc_sweep(
+                    _ptr(pred, _i64), _ptr(state, _u64), _ptr(scratch, _u64),
+                    _ptr(full, _u64), _ptr(done, _u64), _ptr(ecc, _i64),
+                    n, d, w, k, upper_bound,
+                )
+            )
+
+        # --- raw queue kernels: same python arg lists as _pyimpl (used by
+        # --- the differential tests; the engines go through the driver)
+
+        def queue_schedule(*args):
+            queue, slots, times = args[:11], args[11], args[12]
+            lib.queue_schedule(
+                *_queue_ptrs(queue),
+                _ptr(slots, _i64), _ptr(times, _f64), slots.shape[0],
+            )
+
+        def pop_round(*args):
+            queue = args[:11]
+            limit, loc, dst, slots_out, tails_out, dests_out, meta = args[11:]
+            lib.pop_round(
+                *_queue_ptrs(queue), limit,
+                _ptr(loc, _i64), _ptr(dst, _i64),
+                _ptr(slots_out, _i64), _ptr(tails_out, _i64),
+                _ptr(dests_out, _i64), _ptr(meta, _i64),
+            )
+
+        def finish_round(*args):
+            (t, T, L, count, slots, nxt, loc, dst, hops, arrival,
+             prev_link, rep, last_time, busy_until, queue_len, max_queue,
+             tx_count, group_keys, group_ptr, flat_links, vertex_groups,
+             n, m) = args[:23]
+            queue = args[23:34]
+            out_links, out_starts, out_movers, meta = args[34:]
+            lib.finish_round(
+                t, T, L, count,
+                _ptr(slots, _i64), _ptr(nxt, _i64),
+                _ptr(loc, _i64), _ptr(dst, _i64), _ptr(hops, _i64),
+                _ptr(arrival, _f64),
+                _ptr(prev_link, _i64), _ptr(rep, _i64), _ptr(last_time, _f64),
+                _ptr(busy_until, _f64), _ptr(queue_len, _i64),
+                _ptr(max_queue, _i64), _ptr(tx_count, _i64),
+                _ptr(group_keys, _i64), _ptr(group_ptr, _i64),
+                _ptr(flat_links, _i64), _ptr(vertex_groups, _i64),
+                n, m,
+                *_queue_ptrs(queue),
+                _ptr(out_links, _i64), _ptr(out_starts, _f64),
+                _ptr(out_movers, _i64), _ptr(meta, _i64),
+            )
+
+        class RoundDriver:
+            """Pre-bound per-run driver (see _pyimpl.RoundDriver).
+
+            Every stable array's ctypes pointer is computed once here;
+            per-round calls only convert a handful of scalars plus the
+            fresh ``nxt`` array.
+            """
+
+            __slots__ = ("_q", "_pop_tail", "_fin_mid", "_slots_p", "_T", "_L")
+
+            def __init__(self, queue, msg, links, topo, bufs, T, L):
+                self._q = _queue_ptrs(queue)
+                loc, dst, hops, arrival, prev_link, rep = msg
+                busy_until, queue_len, max_queue, tx_count, last_time = links
+                group_keys, group_ptr, flat_links, vertex_groups, n, m = topo
+                (slots_buf, tails_buf, dests_buf,
+                 out_links, out_starts, out_movers, meta) = bufs
+                loc_p = _ptr(loc, _i64)
+                dst_p = _ptr(dst, _i64)
+                meta_p = _ptr(meta, _i64)
+                self._slots_p = _ptr(slots_buf, _i64)
+                self._pop_tail = (
+                    loc_p, dst_p, self._slots_p,
+                    _ptr(tails_buf, _i64), _ptr(dests_buf, _i64), meta_p,
+                )
+                self._fin_mid = (
+                    loc_p, dst_p, _ptr(hops, _i64), _ptr(arrival, _f64),
+                    _ptr(prev_link, _i64), _ptr(rep, _i64),
+                    _ptr(last_time, _f64),
+                    _ptr(busy_until, _f64), _ptr(queue_len, _i64),
+                    _ptr(max_queue, _i64), _ptr(tx_count, _i64),
+                    _ptr(group_keys, _i64), _ptr(group_ptr, _i64),
+                    _ptr(flat_links, _i64), _ptr(vertex_groups, _i64),
+                    n, m,
+                ) + self._q + (
+                    _ptr(out_links, _i64), _ptr(out_starts, _f64),
+                    _ptr(out_movers, _i64), meta_p,
+                )
+                self._T = T
+                self._L = L
+
+            def schedule(self, slots, times):
+                lib.queue_schedule(
+                    *self._q, _ptr(slots, _i64), _ptr(times, _f64),
+                    slots.shape[0],
+                )
+
+            def pop(self, limit):
+                lib.pop_round(*self._q, limit, *self._pop_tail)
+
+            def finish(self, t, count, nxt):
+                lib.finish_round(
+                    t, self._T, self._L, count,
+                    self._slots_p, _ptr(nxt, _i64), *self._fin_mid,
+                )
+
+        def make_round_driver(queue, msg, links, topo, bufs, T, L):
+            return RoundDriver(queue, msg, links, topo, bufs, T, L)
+
+        kernels = SimpleNamespace(
+            ecc_sweep=ecc_sweep,
+            subset_rows_sweep=subset_rows_sweep,
+            subset_ecc_sweep=subset_ecc_sweep,
+            make_round_driver=make_round_driver,
+            # exposed for the differential tests (not used by the engines)
+            queue_schedule=queue_schedule,
+            pop_round=pop_round,
+            finish_round=finish_round,
+        )
+        _LIB_CACHE[SOURCE_DIGEST] = kernels
+        return kernels

@@ -1,0 +1,36 @@
+"""The ``numba`` backend: the shared jittable source, njit-compiled.
+
+Importing this module raises :class:`ImportError` when numba is not
+installed — the dispatch layer in :mod:`repro.kernels` catches that and
+falls back (to ``cnative`` or numpy), so numba never becomes a hard
+dependency.  The kernels themselves live in :mod:`repro.kernels._pyimpl`;
+this module only supplies ``numba.njit`` as the ``jit`` wrapper, so the
+numba backend executes *literally the same code* the interpreted reference
+build runs (numba resolves the closed-over jitted dispatchers for the
+inter-kernel calls).
+
+Compilation is lazy per function signature, as usual for numba;
+:func:`repro.kernels.warmup` triggers one tiny call of every kernel so JIT
+cost never lands inside a benchmark or a latency-sensitive first request.
+(numba's on-disk cache is not usable here — the kernels close over each
+other's dispatchers, which ``cache=True`` cannot serialise — so warm-up is
+per process.)
+"""
+
+from __future__ import annotations
+
+import numba
+
+from repro.kernels._pyimpl import build_kernels
+
+__all__ = ["build_numba_kernels"]
+
+_KERNELS = None
+
+
+def build_numba_kernels():
+    """Build (once) and return the njit-compiled kernel set."""
+    global _KERNELS
+    if _KERNELS is None:
+        _KERNELS = build_kernels(numba.njit(nogil=True))
+    return _KERNELS

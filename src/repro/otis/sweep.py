@@ -106,15 +106,22 @@ _VERDICT_SOURCES = (
     "graphs/apsp.py",
     "otis/h_digraph.py",
     "otis/search.py",
+    "kernels/__init__.py",
+    "kernels/_pyimpl.py",
+    "kernels/native.py",
+    "kernels/numba_backend.py",
 )
 
 
 @lru_cache(maxsize=None)
-def fingerprint_paths(relative_paths: tuple[str, ...]) -> str:
+def fingerprint_paths(
+    relative_paths: tuple[str, ...], extra: tuple[str, ...] = ()
+) -> str:
     """Stable 12-hex-digit fingerprint of package sources.
 
-    A SHA-256 prefix over the package version string and the bytes of the
-    given ``repro``-relative source files.  This is the generic form of
+    A SHA-256 prefix over the package version string, the bytes of the
+    given ``repro``-relative source files, and any ``extra`` identity
+    strings (e.g. the active kernel backend).  This is the generic form of
     :func:`code_version`: any subsystem that persists results keyed by "the
     code that computed them" (the degree–diameter sweep, the sharded
     simulator of :mod:`repro.simulation.sharding`) derives its version from
@@ -127,6 +134,8 @@ def fingerprint_paths(relative_paths: tuple[str, ...]) -> str:
     for relative in relative_paths:
         digest.update(relative.encode())
         digest.update((package_root / relative).read_bytes())
+    for item in extra:
+        digest.update(item.encode())
     return digest.hexdigest()[:12]
 
 
@@ -134,9 +143,17 @@ def code_version() -> str:
     """Fingerprint of the verdict-defining code (see :func:`fingerprint_paths`).
 
     Part of every chunk id and every cache file name: two processes agree on
-    a chunk or cache entry only when they run the *same* verdict code.
+    a chunk or cache entry only when they run the *same* verdict code.  The
+    active kernel backend (:func:`repro.kernels.active_backend`) is folded
+    in: backends are bit-identical by contract, but on-disk results stay
+    attributable to the code path that actually produced them, and a resume
+    after a backend switch is rejected rather than silently mixed.
     """
-    return fingerprint_paths(_VERDICT_SOURCES)
+    from repro import kernels
+
+    return fingerprint_paths(
+        _VERDICT_SOURCES, ("kernels=" + kernels.active_backend(),)
+    )
 
 
 @dataclass(frozen=True)

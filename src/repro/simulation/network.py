@@ -76,11 +76,13 @@ healthy workloads pay nothing for the scenario seam.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import kernels as _kernels
 from repro.graphs.digraph import BaseDigraph
 from repro.routing.paths import RoutingTable
 from repro.routing.routers import Router, resolve_router
@@ -773,7 +775,15 @@ class BatchedNetworkSimulator:
     callback loop come from.  Sparse workloads whose timestamps never collide
     degrade gracefully to small batches.
 
-    Parameters are identical to :class:`NetworkSimulator`.
+    Parameters are identical to :class:`NetworkSimulator`, plus ``kernels``:
+    a kernel-backend request (see :mod:`repro.kernels`) — ``None`` resolves
+    the ``REPRO_KERNELS`` environment override, ``"numpy"`` pins the
+    original vectorised path.  All backends are bit-identical; the resolved
+    name is exposed as :attr:`kernel_backend`.  Under ``auto`` resolution
+    sparse workloads (fewer than 32 events per distinct creation time on
+    average) keep the numpy path — its scalar fast path beats the kernel's
+    per-round boundary crossing there; naming a backend explicitly always
+    runs it.
     """
 
     def __init__(
@@ -784,6 +794,7 @@ class BatchedNetworkSimulator:
         *,
         router: Router | str | None = None,
         scenario=None,
+        kernels: str | None = None,
     ):
         if scenario is not None and link is not None:
             raise ValueError(
@@ -796,6 +807,22 @@ class BatchedNetworkSimulator:
         self.router = resolve_router(graph, routing=routing, router=router)
         self.routing = getattr(self.router, "table", None)
         self._groups = _LinkGroups(graph)
+        resolved = _kernels.resolve_backend(kernels)
+        if scenario is not None and scenario.needs_event_exact():
+            # Degrading scenarios run the per-event scalar loop on every
+            # backend (see the module docstring) — report what actually runs.
+            resolved = "numpy"
+        self.kernel_backend = resolved
+        self._kernels = _kernels.get_kernels(self.kernel_backend)
+        requested = (
+            kernels
+            if kernels is not None
+            else os.environ.get(_kernels.ENV_VAR) or "auto"
+        )
+        # An explicitly named backend (parameter or REPRO_KERNELS) is always
+        # honoured; under "auto", run_many keeps the numpy path for sparse
+        # workloads where the per-round kernel round-trip cannot win.
+        self._kernels_forced = requested.strip().lower() != "auto"
 
     # ------------------------------------------------------------------ run
     def run(
@@ -870,9 +897,6 @@ class BatchedNetworkSimulator:
         arrival = np.full(N, np.nan)
         prev_link = np.full(N, -1, dtype=np.int64)  # global (replicated) ids
 
-        queue = BatchEventQueue(N)
-        queue.schedule(np.arange(N, dtype=np.int64), created)
-
         busy_until = np.zeros(R * m)
         queue_len = np.zeros(R * m, dtype=np.int64)
         max_queue = np.zeros(R, dtype=np.int64)
@@ -880,6 +904,25 @@ class BatchedNetworkSimulator:
         last_time = np.zeros(R)
         router = self.router
         processed = 0
+
+        use_kernel = self._kernels is not None
+        if use_kernel and not self._kernels_forced:
+            # Sparse workloads (rate-limited injection: few events per
+            # distinct timestamp) run thousands of tiny rounds, each paying
+            # a Python<->kernel round-trip; the numpy path's <=32-event
+            # scalar fast path wins there.  Mirror that threshold: take the
+            # kernel only when the average batch is at least 32 events.
+            use_kernel = N >= 32 * np.unique(created).size
+        if use_kernel:
+            queue = ()  # compiled path: the event heap lives in the kernel
+            self._run_rounds_kernel(
+                created, loc, dst, hops, arrival, prev_link, rep,
+                busy_until, queue_len, max_queue, tx_count, last_time,
+                until=until, max_events=max_events, trace=trace,
+            )
+        else:
+            queue = BatchEventQueue(N)
+            queue.schedule(np.arange(N, dtype=np.int64), created)
 
         while len(queue):
             t = queue.peek_time()
@@ -1152,6 +1195,135 @@ class BatchedNetworkSimulator:
                 ]
             results.append((stats, messages))
         return results
+
+    # -------------------------------------------------------- kernel rounds
+    def _run_rounds_kernel(
+        self,
+        created,
+        loc,
+        dst,
+        hops,
+        arrival,
+        prev_link,
+        rep,
+        busy_until,
+        queue_len,
+        max_queue,
+        tx_count,
+        last_time,
+        *,
+        until,
+        max_events,
+        trace,
+    ) -> None:
+        """The event loop of :meth:`run_many`, driven by a compiled kernel.
+
+        Replaces :class:`~repro.simulation.events.BatchEventQueue` + the
+        scalar/vector batch resolution with two kernel calls per round: the
+        kernel-side event queue (a structural replica of the bucketed
+        queue — heap of distinct times + per-time FIFO buckets, see
+        ``repro.kernels._pyimpl``) pops one same-timestamp batch
+        read-only, python asks the router for the batch's next hops, and
+        the kernel then resolves every event sequentially in sequence
+        order with the literal reference float ops — so results are
+        bit-identical to both the numpy vector path and the reference
+        engine (enforced by ``tests/test_kernel_parity.py``).  Mutates the
+        pooled per-message / per-replica arrays in place;
+        :meth:`run_many` computes the statistics afterwards exactly as
+        for the numpy path.
+        """
+        kern = self._kernels
+        groups = self._groups
+        n = self.graph.num_vertices
+        m = groups.num_links
+        T = float(self.link.transmission_time)
+        L = float(self.link.latency)
+        router = self.router
+        N = int(loc.shape[0])
+
+        # queue arrays (layout documented in repro.kernels._pyimpl): at most
+        # N live distinct times / buckets; hash sized power-of-two >= 2N.
+        C = max(N, 1)
+        H = 2
+        while H < 2 * C:
+            H *= 2
+        fbits = np.zeros(1)
+        queue = (
+            np.empty(C),  # heap_time
+            np.empty(C, dtype=np.int64),  # heap_bid
+            np.empty(C, dtype=np.int64),  # bucket_head
+            np.empty(C, dtype=np.int64),  # bucket_tail
+            np.empty(C, dtype=np.int64),  # next_slot
+            np.arange(C, dtype=np.int64),  # free_bids
+            np.empty(H),  # hash_time
+            np.full(H, -1, dtype=np.int64),  # hash_state
+            np.array([0, C, 0, 0], dtype=np.int64),  # qstate
+            fbits,
+            fbits.view(np.uint64),  # ubits
+        )
+        qstate = queue[8]
+        heap_time = queue[0]
+
+        slots_buf = np.empty(C, dtype=np.int64)
+        tails_buf = np.empty(C, dtype=np.int64)
+        dests_buf = np.empty(C, dtype=np.int64)
+        out_links = np.empty(C, dtype=np.int64)
+        out_starts = np.empty(C)
+        out_movers = np.empty(C, dtype=np.int64)
+        meta = np.zeros(4, dtype=np.int64)
+        empty_next = np.zeros(0, dtype=np.int64)
+        no_limit = 1 << 62
+
+        # per-vertex range into the sorted (u*n + v) group keys, so the
+        # kernel can resolve a hop's link group by scanning at most
+        # out-degree entries instead of binary-searching all groups
+        vertex_groups = np.searchsorted(
+            groups.group_keys // n, np.arange(n + 1)
+        ).astype(np.int64)
+        driver = kern.make_round_driver(
+            queue,
+            (loc, dst, hops, arrival, prev_link, rep),
+            (busy_until, queue_len, max_queue, tx_count, last_time),
+            (groups.group_keys, groups.group_ptr, groups.flat_links,
+             vertex_groups, n, m),
+            (slots_buf, tails_buf, dests_buf,
+             out_links, out_starts, out_movers, meta),
+            T,
+            L,
+        )
+        driver.schedule(
+            np.arange(N, dtype=np.int64), np.ascontiguousarray(created)
+        )
+
+        processed = 0
+        while qstate[0] > 0:
+            t = float(heap_time[0])
+            if until is not None and t > until:
+                break
+            limit = no_limit
+            if max_events is not None:
+                limit = max_events - processed
+                if limit <= 0:
+                    break
+            driver.pop(limit)
+            count = int(meta[0])
+            nfwd = int(meta[1])
+            processed += count
+            if nfwd:
+                nxt = router.next_hops(tails_buf[:nfwd], dests_buf[:nfwd])
+                nxt = np.ascontiguousarray(nxt, dtype=np.int64)
+            else:
+                nxt = empty_next
+            driver.finish(t, count, nxt)
+            moved = int(meta[0])
+            if trace is not None and moved:
+                trace.append(
+                    (
+                        out_links[:moved].copy(),
+                        out_starts[:moved].copy(),
+                        out_movers[:moved].copy(),
+                    )
+                )
 
     # ------------------------------------------------------------- scenario
     def _run_many_scenario(

@@ -678,6 +678,11 @@ class ScenarioSweep:
     scenario: Scenario
     points: list[ScenarioPoint]
     wall_time_s: float
+    #: The kernel backend the batched engine ran on (``"numpy"`` for the
+    #: vectorised path, for the reference event engine, and always for
+    #: degrading scenarios — those run the per-event scalar loop on every
+    #: backend).  Recorded so ``wall_time_s`` is attributable to a backend.
+    kernel_backend: str = "numpy"
 
     def curves(self) -> list[dict]:
         grouped: dict[float | None, list[ScenarioPoint]] = {}
@@ -716,6 +721,7 @@ class ScenarioSweep:
             "engine": self.engine,
             "scenario": self.scenario.to_json(),
             "scenario_digest": self.scenario.digest(),
+            "kernel_backend": self.kernel_backend,
             "wall_time_s": round(self.wall_time_s, 4),
             "curves": self.curves(),
         }
@@ -789,4 +795,5 @@ def run_scenario_sweep(
         scenario=scenario,
         points=points,
         wall_time_s=wall,
+        kernel_backend=getattr(simulator, "kernel_backend", "numpy"),
     )

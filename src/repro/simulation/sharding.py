@@ -77,12 +77,26 @@ _SIM_SOURCES = (
     "simulation/events.py",
     "simulation/network.py",
     "simulation/scenarios.py",
+    "kernels/__init__.py",
+    "kernels/_pyimpl.py",
+    "kernels/native.py",
+    "kernels/numba_backend.py",
 )
 
 
 def sim_code_version() -> str:
-    """Fingerprint of the simulator-defining sources (chunk-id component)."""
-    return fingerprint_paths(_SIM_SOURCES)
+    """Fingerprint of the simulator-defining sources (chunk-id component).
+
+    The active kernel backend is folded in (same rationale as the sweep's
+    ``code_version``): bit-identical or not, a chunk store resumed under a
+    different backend is rejected with ``StoreIdentityError`` instead of
+    silently mixing code paths.
+    """
+    from repro import kernels
+
+    return fingerprint_paths(
+        _SIM_SOURCES, ("kernels=" + kernels.active_backend(),)
+    )
 
 
 def graph_fingerprint(graph: BaseDigraph) -> str:

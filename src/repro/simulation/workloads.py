@@ -261,6 +261,10 @@ class ThroughputSweep:
     link: LinkModel
     points: list[SweepPoint]
     wall_time_s: float
+    #: The kernel backend the batched engine ran on (``"numpy"`` for the
+    #: vectorised path and for the reference event engine) — recorded so a
+    #: ``wall_time_s`` in ``BENCH_sim.json`` is attributable to a backend.
+    kernel_backend: str = "numpy"
 
     def curves(self) -> list[dict]:
         """Throughput/latency curve rows, seeds averaged per (workload, rate)."""
@@ -298,6 +302,7 @@ class ThroughputSweep:
             "engine": self.engine,
             "link_latency": self.link.latency,
             "link_transmission_time": self.link.transmission_time,
+            "kernel_backend": self.kernel_backend,
             "wall_time_s": round(self.wall_time_s, 4),
             "curves": self.curves(),
         }
@@ -352,6 +357,7 @@ def assemble_throughput_sweep(
     engine: str,
     link: LinkModel,
     wall_time_s: float,
+    kernel_backend: str = "numpy",
 ) -> ThroughputSweep:
     """Package per-combination stats into a :class:`ThroughputSweep`.
 
@@ -377,6 +383,7 @@ def assemble_throughput_sweep(
         link=link,
         points=points,
         wall_time_s=wall_time_s,
+        kernel_backend=kernel_backend,
     )
 
 
@@ -431,4 +438,5 @@ def run_throughput_sweep(
         engine=engine,
         link=simulator.link,
         wall_time_s=wall,
+        kernel_backend=getattr(simulator, "kernel_backend", "numpy"),
     )
