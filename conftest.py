@@ -27,6 +27,11 @@ the benchmark harness agree on their meaning:
   existing key (``repro.analysis.bench_check``).  Opt-in via
   ``--run-bench-check`` or ``-m benchcheck``; meant to run right after a
   benchmark session rewrote the BENCH files.
+* ``chaos`` — the full seeded fault-injection sweeps (hundreds of fault
+  schedules against the chunk store, the lease protocol and straggler
+  splitting; see docs/chaos.md).  Opt-in via ``--run-chaos`` or
+  ``-m chaos``; a fast fixed-seed subset in ``tests/test_chaos.py`` runs
+  unconditionally.
 """
 
 import pytest
@@ -41,6 +46,8 @@ MARKERS = [
     "(opt-in: pass --run-serve or -m serve)",
     "benchcheck: BENCH_*.json wall-time regression gate "
     "(opt-in: pass --run-bench-check or -m benchcheck)",
+    "chaos: full seeded fault-injection sweeps "
+    "(opt-in: pass --run-chaos or -m chaos)",
 ]
 
 #: marker name -> the command-line flag that opts it in.
@@ -50,6 +57,7 @@ _OPT_IN = {
     "scenarios": "--run-scenarios",
     "serve": "--run-serve",
     "benchcheck": "--run-bench-check",
+    "chaos": "--run-chaos",
 }
 
 
@@ -83,6 +91,12 @@ def pytest_addoption(parser):
         action="store_true",
         default=False,
         help="run the 'benchcheck'-marked BENCH_*.json regression gate",
+    )
+    parser.addoption(
+        "--run-chaos",
+        action="store_true",
+        default=False,
+        help="run the 'chaos'-marked full seeded fault-injection sweeps",
     )
 
 

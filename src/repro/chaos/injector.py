@@ -1,0 +1,275 @@
+"""Monkeypatching fault injector over the repo's filesystem seams.
+
+:class:`ChaosInjector` wraps the exact syscall surface the chunk store, the
+verdict cache, the lease protocol and the serve registry reload go through —
+``os.open/write/fsync/close/replace/rename/link/unlink/utime`` plus
+``builtins.open``/``io.open`` (what ``Path.read_text``/``Path.open`` use) —
+and consults a :class:`~repro.chaos.schedule.ChaosSchedule` before letting
+each call through.  Only paths under the injector's ``roots`` are eligible;
+everything else (test harness I/O, imports, pytest's own files) passes
+straight to the real functions.
+
+Injected failures raise :class:`ChaosFault`, an ``OSError`` with a real
+errno (``EIO``/``ENOSPC``/``ESTALE``), so production code cannot tell it
+from the weather it is built for — but tests can, and assert that *only*
+injected faults occurred.
+
+The injector is a context manager and intentionally refuses to nest: the
+patched functions are process-global, and two active injectors would
+double-count operations and unpatch each other's state.
+
+:class:`ChaosClock` is the companion time seam — a controllable
+``time``/``monotonic`` pair for driving lease TTL expiry through hundreds
+of simulated seconds without sleeping.
+"""
+
+from __future__ import annotations
+
+import builtins
+import errno
+import io
+import os
+import threading
+from pathlib import Path
+from typing import Iterable
+
+from repro.chaos.schedule import ChaosSchedule
+
+__all__ = ["ChaosFault", "ChaosClock", "ChaosInjector"]
+
+_ERRNOS = {
+    "eio": errno.EIO,
+    "enospc": errno.ENOSPC,
+    "estale": errno.ESTALE,
+    "torn": errno.EIO,
+    "applied-eio": errno.EIO,
+}
+
+
+class ChaosFault(OSError):
+    """An injected filesystem fault (never raised by real filesystems).
+
+    Subclassing ``OSError`` with a genuine errno means the code under test
+    handles it exactly like a real EIO/ENOSPC/ESTALE; tests catch
+    ``ChaosFault`` specifically to prove a failure was injected rather than
+    environmental.
+    """
+
+    def __init__(self, kind: str, op: str, path: str):
+        super().__init__(
+            _ERRNOS.get(kind, errno.EIO), f"chaos[{kind}] injected on {op}", path
+        )
+        self.kind = kind
+        self.op = op
+
+
+class ChaosClock:
+    """A controllable ``time``/``monotonic`` pair for lease chaos tests.
+
+    ``advance`` moves both clocks; ``skew`` offsets only the wall clock
+    (modelling a host whose wall time disagrees with the fleet's).  Pass
+    ``clock.time``/``clock.monotonic`` into
+    :class:`~repro.fleet.leases.LeaseManager` — hundreds of TTL expiries run
+    in milliseconds of real time.
+    """
+
+    def __init__(self, start: float = 1_000_000.0, skew: float = 0.0):
+        self._now = float(start)
+        self.skew = float(skew)
+
+    def time(self) -> float:
+        return self._now + self.skew
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        self._now += seconds
+
+
+class ChaosInjector:
+    """Context manager injecting scheduled faults under given root dirs."""
+
+    _active_lock = threading.Lock()
+    _active: "ChaosInjector | None" = None
+
+    def __init__(self, schedule: ChaosSchedule, roots: Iterable[str | Path]):
+        self.schedule = schedule
+        self.roots = [os.path.abspath(os.fspath(root)) for root in roots]
+        self._fd_paths: dict[int, str] = {}
+        self._lock = threading.Lock()
+        self._originals: dict[str, object] = {}
+
+    # ------------------------------------------------------------- scoping
+    def _in_scope(self, path) -> str | None:
+        try:
+            name = os.path.abspath(os.fspath(path))
+        except TypeError:
+            return None  # fd-relative or non-path argument
+        for root in self.roots:
+            if name == root or name.startswith(root + os.sep):
+                return name
+        return None
+
+    # ------------------------------------------------------------ patching
+    def __enter__(self) -> "ChaosInjector":
+        with ChaosInjector._active_lock:
+            if ChaosInjector._active is not None:
+                raise RuntimeError("a ChaosInjector is already active")
+            ChaosInjector._active = self
+        self._originals = {
+            "os.open": os.open,
+            "os.write": os.write,
+            "os.fsync": os.fsync,
+            "os.close": os.close,
+            "os.replace": os.replace,
+            "os.rename": os.rename,
+            "os.link": os.link,
+            "os.unlink": os.unlink,
+            "os.utime": os.utime,
+            "io.open": io.open,
+            "builtins.open": builtins.open,
+        }
+        os.open = self._os_open  # type: ignore[assignment]
+        os.write = self._os_write  # type: ignore[assignment]
+        os.fsync = self._os_fsync  # type: ignore[assignment]
+        os.close = self._os_close  # type: ignore[assignment]
+        os.replace = self._make_pathop("rename", "os.replace")
+        os.rename = self._make_pathop("rename", "os.rename")
+        os.link = self._os_link  # type: ignore[assignment]
+        os.unlink = self._make_pathop("unlink", "os.unlink")
+        os.utime = self._os_utime  # type: ignore[assignment]
+        io.open = self._io_open  # type: ignore[assignment]
+        builtins.open = self._io_open  # type: ignore[assignment]
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        os.open = self._originals["os.open"]  # type: ignore[assignment]
+        os.write = self._originals["os.write"]  # type: ignore[assignment]
+        os.fsync = self._originals["os.fsync"]  # type: ignore[assignment]
+        os.close = self._originals["os.close"]  # type: ignore[assignment]
+        os.replace = self._originals["os.replace"]  # type: ignore[assignment]
+        os.rename = self._originals["os.rename"]  # type: ignore[assignment]
+        os.link = self._originals["os.link"]  # type: ignore[assignment]
+        os.unlink = self._originals["os.unlink"]  # type: ignore[assignment]
+        os.utime = self._originals["os.utime"]  # type: ignore[assignment]
+        io.open = self._originals["io.open"]  # type: ignore[assignment]
+        builtins.open = self._originals["builtins.open"]  # type: ignore[assignment]
+        with ChaosInjector._active_lock:
+            ChaosInjector._active = None
+
+    # ------------------------------------------------------------ wrappers
+    def _os_open(self, path, flags, *args, **kwargs):
+        real = self._originals["os.open"]
+        name = self._in_scope(path)
+        if name is None:
+            return real(path, flags, *args, **kwargs)
+        writing = flags & (os.O_WRONLY | os.O_RDWR | os.O_CREAT | os.O_APPEND)
+        op = "open" if writing else "read-open"
+        kind = self.schedule.decide(op, name)
+        if kind is not None:
+            raise ChaosFault(kind, op, name)
+        fd = real(path, flags, *args, **kwargs)
+        with self._lock:
+            self._fd_paths[fd] = name
+        return fd
+
+    def _os_write(self, fd, data):
+        real = self._originals["os.write"]
+        with self._lock:
+            name = self._fd_paths.get(fd)
+        if name is None:
+            return real(fd, data)
+        kind = self.schedule.decide("write", name)
+        if kind is None:
+            return real(fd, data)
+        if kind == "torn":
+            # Apply half the buffer, then fail: the on-disk file is torn
+            # exactly as a crashed or ENOSPC-hit writer would leave it.
+            half = max(1, len(data) // 2) if len(data) else 0
+            if half:
+                real(fd, bytes(data)[:half])
+            raise ChaosFault(kind, "write", name)
+        raise ChaosFault(kind, "write", name)
+
+    def _os_fsync(self, fd):
+        real = self._originals["os.fsync"]
+        with self._lock:
+            name = self._fd_paths.get(fd)
+        if name is None:
+            return real(fd)
+        kind = self.schedule.decide("fsync", name)
+        if kind is not None:
+            raise ChaosFault(kind, "fsync", name)
+        return real(fd)
+
+    def _os_close(self, fd):
+        # Never faults: close is the cleanup path; a close that raises after
+        # a failed write would mask the original fault in ``finally`` blocks.
+        with self._lock:
+            self._fd_paths.pop(fd, None)
+        return self._originals["os.close"](fd)
+
+    def _make_pathop(self, op: str, original_key: str):
+        def wrapper(src, dst=None, **kwargs):
+            real = self._originals[original_key]
+            # rename-like ops are judged on their *destination* (the name
+            # being published); unlink on its sole argument.
+            target = dst if dst is not None else src
+            name = self._in_scope(target)
+            if name is None:
+                if dst is None:
+                    return real(src, **kwargs)
+                return real(src, dst, **kwargs)
+            kind = self.schedule.decide(op, name)
+            if kind == "lost":
+                return None  # silently not applied
+            if kind is not None and kind != "applied-eio":
+                raise ChaosFault(kind, op, name)
+            result = real(src, **kwargs) if dst is None else real(src, dst, **kwargs)
+            if kind == "applied-eio":
+                raise ChaosFault(kind, op, name)
+            return result
+
+        return wrapper
+
+    def _os_link(self, src, dst, **kwargs):
+        real = self._originals["os.link"]
+        name = self._in_scope(dst)
+        if name is None:
+            return real(src, dst, **kwargs)
+        kind = self.schedule.decide("link", name)
+        if kind == "lost":
+            return None
+        if kind is not None and kind != "applied-eio":
+            raise ChaosFault(kind, "link", name)
+        result = real(src, dst, **kwargs)
+        if kind == "applied-eio":
+            raise ChaosFault(kind, "link", name)
+        return result
+
+    def _os_utime(self, path, *args, **kwargs):
+        real = self._originals["os.utime"]
+        name = self._in_scope(path)
+        if name is None:
+            return real(path, *args, **kwargs)
+        kind = self.schedule.decide("utime", name)
+        if kind == "lost":
+            return None  # heartbeat swallowed — mtime silently not bumped
+        if kind is not None:
+            raise ChaosFault(kind, "utime", name)
+        return real(path, *args, **kwargs)
+
+    def _io_open(self, file, mode="r", *args, **kwargs):
+        real = self._originals["io.open"]
+        name = self._in_scope(file) if isinstance(file, (str, os.PathLike)) else None
+        if name is None:
+            return real(file, mode, *args, **kwargs)
+        writing = any(flag in mode for flag in ("w", "a", "+", "x"))
+        op = "open" if writing else "read-open"
+        kind = self.schedule.decide(op, name)
+        if kind is not None:
+            raise ChaosFault(kind, op, name)
+        return real(file, mode, *args, **kwargs)

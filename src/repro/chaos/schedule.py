@@ -1,0 +1,144 @@
+"""Seeded, order-independent fault schedules.
+
+A :class:`ChaosSchedule` answers one question — *should this filesystem
+operation fail, and how?* — in a way that replays exactly.  The decision for
+the ``k``-th occurrence of operation ``op`` on file ``name`` is a pure
+function of ``(seed, op, name, k)``: a SHA-256 digest turned into a uniform
+draw against the op's fault rate, with the same digest's tail picking the
+fault kind.  No shared RNG stream exists, so two interleavings of
+*different* files' operations cannot perturb each other's decisions — the
+property that makes a chaos run with background threads (heartbeats, cache
+appends) still replay the faults that matter.
+
+Random temp-file names (``tempfile.mkstemp`` suffixes, pid/uuid lease tmp
+files) would defeat replay, so names are **normalised** before counting:
+any dotfile collapses to ``".tmp"``; published names (``chunk-*.jsonl``,
+``split-*.json``, ``*.lease`` …) are deterministic already and pass
+through.
+
+``max_faults`` caps the total injections so retry loops provably terminate:
+after the budget is spent every decision is "no fault", and the system under
+test must then converge to the fault-free result — byte-identical, per the
+acceptance contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+
+__all__ = ["DEFAULT_KINDS", "DEFAULT_RATES", "ChaosSchedule", "FaultEvent"]
+
+#: Fault kinds the injector knows how to apply, per operation seam.
+#:
+#: ``eio``/``enospc``/``estale`` raise before the operation is applied;
+#: ``torn`` applies *half* a write then raises; ``applied-eio`` applies the
+#: operation **and then** raises (the NFS lost-reply artifact — the caller
+#: believes it failed, the filesystem says it happened); ``lost`` silently
+#: skips the operation (the caller believes it succeeded, nothing happened —
+#: a delayed rename that never lands, a heartbeat ``utime`` swallowed by a
+#: dead mount).
+DEFAULT_KINDS: dict[str, tuple[str, ...]] = {
+    "open": ("eio",),
+    "read-open": ("estale", "eio"),
+    "write": ("torn", "eio", "enospc"),
+    "fsync": ("eio",),
+    "rename": ("eio", "applied-eio", "lost"),
+    "link": ("eio", "applied-eio"),
+    "unlink": ("eio", "applied-eio"),
+    "utime": ("eio", "lost"),
+}
+
+#: Per-op injection probability used when the caller gives only a seed.
+DEFAULT_RATES: dict[str, float] = {
+    "open": 0.05,
+    "read-open": 0.05,
+    "write": 0.10,
+    "fsync": 0.10,
+    "rename": 0.10,
+    "link": 0.10,
+    "unlink": 0.05,
+    "utime": 0.10,
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as recorded in the schedule's log."""
+
+    op: str
+    name: str
+    count: int
+    kind: str
+
+
+@dataclass
+class ChaosSchedule:
+    """Deterministic per-operation fault decisions for one chaos run.
+
+    Parameters
+    ----------
+    seed:
+        Replay key.  Same seed + same per-name operation sequence = same
+        faults, always.
+    rates:
+        Probability of injecting a fault per operation kind (missing ops
+        never fault).  Defaults to :data:`DEFAULT_RATES`.
+    kinds:
+        Fault kinds drawn from per op.  Defaults to :data:`DEFAULT_KINDS`.
+    max_faults:
+        Total injection budget; None = unlimited.  A finite budget makes
+        "retry until it converges" terminate by construction.
+    """
+
+    seed: int
+    rates: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_RATES))
+    kinds: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_KINDS)
+    )
+    max_faults: int | None = None
+    log: list[FaultEvent] = field(default_factory=list)
+    _counts: dict[tuple[str, str], int] = field(default_factory=dict)
+    _injected: int = 0
+
+    @staticmethod
+    def normalize(path: str | os.PathLike) -> str:
+        """Collapse randomly named temp files to one stable key."""
+        name = os.path.basename(os.fspath(path))
+        if name.startswith("."):
+            return ".tmp"
+        return name
+
+    def decide(self, op: str, path: str | os.PathLike) -> str | None:
+        """The fault to inject for this occurrence, or None.
+
+        Stateful only in the per-``(op, name)`` occurrence counter and the
+        global budget — the draw itself is the pure hash of
+        ``(seed, op, name, count)``.
+        """
+        rate = self.rates.get(op, 0.0)
+        kinds = self.kinds.get(op, ())
+        if rate <= 0.0 or not kinds:
+            return None
+        name = self.normalize(path)
+        key = (op, name)
+        count = self._counts.get(key, 0)
+        self._counts[key] = count + 1
+        if self.max_faults is not None and self._injected >= self.max_faults:
+            return None
+        digest = hashlib.sha256(
+            f"{self.seed}:{op}:{name}:{count}".encode()
+        ).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2**64
+        if draw >= rate:
+            return None
+        kind = kinds[int.from_bytes(digest[8:12], "big") % len(kinds)]
+        self._injected += 1
+        self.log.append(FaultEvent(op=op, name=name, count=count, kind=kind))
+        return kind
+
+    @property
+    def injected(self) -> int:
+        """How many faults this schedule has injected so far."""
+        return self._injected

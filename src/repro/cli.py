@@ -438,6 +438,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="LinkModel transmission time used by ETA answers",
     )
+    serve_run.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="shed /v1/query requests with 429 + Retry-After beyond this "
+        "many concurrently processed ones (default: unbounded)",
+    )
+    serve_run.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline: cancel and answer 503 beyond it "
+        "(default: none)",
+    )
+    serve_run.add_argument(
+        "--retry-after",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="Retry-After hint sent with 429/503 answers (default 0.5)",
+    )
+    serve_run.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT: seconds to let in-flight requests finish "
+        "before stopping (default 10)",
+    )
 
     serve_bench = serve_sub.add_parser(
         "bench",
@@ -552,6 +582,36 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="fold the completed store into the final result instead of "
             "running chunks",
+        )
+        p.add_argument(
+            "--split-after",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="straggler policy: when idle, split a chunk whose live "
+            "lease has been held longer than this into sub-chunks any "
+            "worker can claim (assembled result is byte-identical; "
+            "default: no splitting)",
+        )
+        p.add_argument(
+            "--split-parts",
+            type=int,
+            default=2,
+            help="sub-chunks per straggler split (default 2)",
+        )
+        p.add_argument(
+            "--clock-skew",
+            type=float,
+            default=0.0,
+            metavar="SECONDS",
+            help="worst-case wall-clock offset between fleet hosts; widens "
+            "the lease-expiry margin on shared filesystems (default 0)",
+        )
+        p.add_argument(
+            "--no-prefetch",
+            action="store_true",
+            help="disable claiming the next chunk's lease while computing "
+            "the current one",
         )
 
     fleet_sweep = fleet_sub.add_parser(
@@ -963,18 +1023,47 @@ def _serve_run(args: argparse.Namespace) -> int:
         batch_pairs=args.batch_pairs,
         max_pairs=args.max_pairs,
         reload_interval_s=args.reload_interval,
+        max_inflight=args.max_inflight,
+        request_timeout_s=args.request_timeout,
+        retry_after_s=args.retry_after,
     )
 
     async def main() -> None:
+        import signal as _signal
+
         port = await server.start()
-        print(f"serving on http://{args.host}:{port}")
+        print(f"serving on http://{args.host}:{port}", flush=True)
         for name, info in sorted(registry.snapshot().items()):
             print(
                 f"  {name}: {info['spec']} via {info['router']} router "
                 f"({info['nodes']} nodes, {info['state_bytes']} bytes of "
-                "routing state)"
+                "routing state)",
+                flush=True,
             )
-        await server.serve_forever()
+        # Graceful shutdown: SIGTERM/SIGINT stop admission, let in-flight
+        # requests finish (up to --drain-grace), then exit 0 — so rolling
+        # restarts and supervisors never cut answered connections short.
+        loop = asyncio.get_running_loop()
+        stop_signal = asyncio.Event()
+        for signum in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop_signal.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-Unix event loops
+        serving = asyncio.ensure_future(server.serve_forever())
+        waiter = asyncio.ensure_future(stop_signal.wait())
+        try:
+            await asyncio.wait(
+                {serving, waiter}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            waiter.cancel()
+            serving.cancel()
+            await asyncio.gather(serving, waiter, return_exceptions=True)
+        if stop_signal.is_set():
+            print("draining...", flush=True)
+            await server.drain(grace_s=args.drain_grace)
+            print("drained, stopped", flush=True)
 
     try:
         asyncio.run(main())
@@ -1279,15 +1368,31 @@ def _fleet_kwargs(args: argparse.Namespace) -> dict:
         heartbeat=args.heartbeat,
         wait=not args.no_wait,
         max_chunks=args.max_chunks,
+        prefetch=not args.no_prefetch,
+        split_after=args.split_after,
+        split_parts=args.split_parts,
+        clock_skew=args.clock_skew,
+        # CLI workers are real processes under a supervisor: convert
+        # SIGTERM into a prompt lease release + clean exit.
+        handle_sigterm=True,
     )
 
 
 def _fleet_watch(job, args: argparse.Namespace) -> int:
-    """``--watch``: print status snapshots until the store completes."""
+    """``--watch``: print status snapshots until the store completes.
+
+    The refresh sleep backs off exponentially (capped at
+    ``max(--interval, 5 s)``) while nothing changes and snaps back to
+    ``--interval`` on any progress — a hundred idle watchers must not
+    hammer the shared store with stat storms.
+    """
     import time as _time
 
     from repro.fleet import fleet_status, format_status
 
+    sleep_s = args.interval
+    cap_s = max(args.interval, 5.0)
+    last = None
     while True:
         status = fleet_status(job, ttl=args.ttl)
         try:
@@ -1297,7 +1402,20 @@ def _fleet_watch(job, args: argparse.Namespace) -> int:
         print(format_status(status, summary=summary), flush=True)
         if status["done"]:
             return 0
-        _time.sleep(args.interval)
+        # Heartbeat ages churn every snapshot; progress is judged on the
+        # stable parts only (who holds what, how much is complete).
+        fingerprint = (
+            status["complete"],
+            status.get("splits", 0),
+            tuple(sorted((i.chunk_id, i.worker) for i in status["running"])),
+            tuple(sorted(i.chunk_id for i in status["expired"])),
+        )
+        if fingerprint == last:
+            sleep_s = min(cap_s, sleep_s * 2)
+        else:
+            sleep_s = args.interval
+            last = fingerprint
+        _time.sleep(sleep_s)
 
 
 def _print_fleet_outcome(outcome: dict, job) -> None:

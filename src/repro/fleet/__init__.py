@@ -9,14 +9,20 @@ worker processes — same host, or many hosts on a shared filesystem — point a
 one ``--out-dir`` and claim chunks through atomic lease files with a TTL.
 
 * :mod:`repro.fleet.leases` — the claim protocol.  A lease is a file created
-  with ``os.open(..., O_CREAT | O_EXCL)`` (the POSIX mutual-exclusion
-  primitive that also works over NFS v3+), refreshed by heartbeat ``mtime``
-  touches, and reclaimable by any worker once its mtime is older than the
-  TTL (crashed owner).
+  exclusively via write-tmp/fsync/``os.link`` (the NFS-safe mutual-exclusion
+  technique — see the module docstring for why not ``O_EXCL`` alone),
+  refreshed by heartbeat ``mtime`` touches, and reclaimable by any worker
+  once a full TTL passes without a heartbeat — judged by wall clock with a
+  configurable skew margin *or* by local monotonic observation, so fleets
+  spanning hosts with disagreeing clocks stay safe.
 * :mod:`repro.fleet.driver` — :class:`~repro.fleet.driver.FleetJob` adapts a
   chunk backend (the degree–diameter sweep of :mod:`repro.otis.sweep`, the
   replica simulation of :mod:`repro.simulation.sharding`) to one claim →
-  run → publish → release loop, :func:`~repro.fleet.driver.run_fleet`.
+  run → publish → release loop, :func:`~repro.fleet.driver.run_fleet`, with
+  worker-side lease prefetch and deterministic straggler splitting
+  (``split_after``): an overweight chunk is cut into deterministically named
+  sub-chunks any worker can claim, and the assembled parent file is
+  byte-identical to the unsplit run.
 * :mod:`repro.fleet.status` — live progress/heartbeat snapshots over a store
   (who holds what, for how long, how much is done), the ``--watch`` view.
 
@@ -31,11 +37,12 @@ from repro.fleet.driver import (
     DEFAULT_HEARTBEAT_FRACTION,
     DEFAULT_TTL,
     FleetJob,
+    FleetTerminated,
     SimFleetJob,
     SweepFleetJob,
     run_fleet,
 )
-from repro.fleet.leases import Lease, LeaseInfo, LeaseManager
+from repro.fleet.leases import Heartbeat, Lease, LeaseInfo, LeaseManager
 from repro.fleet.status import (
     fleet_status,
     format_status,
@@ -47,9 +54,11 @@ __all__ = [
     "DEFAULT_HEARTBEAT_FRACTION",
     "DEFAULT_TTL",
     "FleetJob",
+    "FleetTerminated",
     "SweepFleetJob",
     "SimFleetJob",
     "run_fleet",
+    "Heartbeat",
     "Lease",
     "LeaseInfo",
     "LeaseManager",

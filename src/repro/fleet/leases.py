@@ -1,25 +1,43 @@
 """Atomic lease files with a TTL: the fleet's chunk-claim protocol.
 
 A lease is ownership of one chunk id, materialised as a file in the store's
-``leases/`` directory.  The protocol rests on three POSIX guarantees that
-hold on local filesystems and on NFS (v3 and later):
+``leases/`` directory.  The protocol rests on POSIX guarantees that hold on
+local filesystems and on NFS:
 
-* ``os.open(path, O_CREAT | O_EXCL)`` fails for every process but one —
-  **claiming is atomic**, two workers can never both acquire a chunk;
+* exclusive creation goes through **write-tmp / fsync / ``os.link``** — not
+  ``O_CREAT | O_EXCL``, which ancient NFS servers do not implement
+  atomically and which cannot distinguish "the create was applied but the
+  reply was lost" (an NFS retransmit artifact) from "someone else holds it".
+  After ``os.link`` raises, ``os.stat(tmp).st_nlink == 2`` proves the link
+  *did* land and the caller owns the lease after all — the classic NFS
+  lockfile technique.  Exactly one worker ever owns a given lease file;
 * ``os.utime`` updates the file's mtime — **heartbeats are cheap**, one
   syscall per refresh, and any observer can judge liveness from ``stat``;
 * ``os.replace``/``os.unlink`` are atomic — releases and reclaims never
   expose half-states.
 
-A lease whose mtime is older than the TTL belongs to a worker presumed dead
-(killed, wedged, unplugged).  Reclaiming it safely needs care: two workers
-that both notice the expiry must not both tear it down and then both think
-they cleared the way.  The reclaim therefore goes through a second
-``O_EXCL`` file, the *reclaim guard*: only the guard's creator may unlink
-the stale lease (re-checking staleness under the guard first), and after the
-guard is dropped every worker races the ordinary ``O_EXCL`` claim again —
-exactly one wins.  A guard whose own mtime exceeds the TTL marks a reclaimer
-that crashed mid-reclaim and is removed the same way.
+Expiry is judged two ways, and either suffices:
+
+* **wall-clock**: mtime older than ``ttl + clock_skew``.  With the default
+  ``clock_skew=0`` this is the PR-5 behaviour; on a fleet spanning hosts
+  whose clocks disagree, set ``clock_skew`` to the worst plausible offset so
+  a fast-clocked observer cannot steal a live lease;
+* **observation**: the manager remembers the first time (on its own
+  *monotonic* clock) it saw each lease's current mtime.  A lease whose
+  mtime has not moved for a full TTL of local observation is expired no
+  matter what the file server's clock says — heartbeats change the mtime,
+  so a live lease always resets the watch.  This path needs no clock
+  agreement at all.
+
+A lease whose TTL lapsed belongs to a worker presumed dead (killed, wedged,
+unplugged).  Reclaiming it safely needs care: two workers that both notice
+the expiry must not both tear it down and then both think they cleared the
+way.  The reclaim therefore goes through a second exclusively created file,
+the *reclaim guard*: only the guard's creator may unlink the stale lease
+(re-checking staleness under the guard first), and after the guard is
+dropped every worker races the ordinary exclusive claim again — exactly one
+wins.  A guard whose own mtime exceeds the TTL marks a reclaimer that
+crashed mid-reclaim and is removed the same way.
 
 What the TTL can and cannot promise: a worker that is merely *stalled*
 longer than the TTL (not dead) loses its lease to a reclaimer and may still
@@ -42,6 +60,7 @@ import time
 import uuid
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable, Iterable
 
 __all__ = ["LeaseInfo", "Lease", "LeaseManager", "Heartbeat"]
 
@@ -120,14 +139,34 @@ class LeaseManager:
     *protocol constant* of the out-dir, not a per-worker preference: a
     worker judging expiry with a shorter TTL than the owners' heartbeat
     budget would steal live leases.
+
+    ``clock``/``monotonic`` are injectable for tests (the chaos suite runs
+    hundreds of full lease lifecycles on a fake clock without sleeping);
+    ``clock_skew`` widens the wall-clock expiry margin for fleets whose
+    hosts' clocks disagree (see the module docstring).
     """
 
-    def __init__(self, directory: str | Path, *, ttl: float):
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        ttl: float,
+        clock: Callable[[], float] = time.time,
+        monotonic: Callable[[], float] = time.monotonic,
+        clock_skew: float = 0.0,
+    ):
         if ttl <= 0:
             raise ValueError("ttl must be positive (seconds)")
+        if clock_skew < 0:
+            raise ValueError("clock_skew must be >= 0 (seconds)")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.ttl = float(ttl)
+        self.clock_skew = float(clock_skew)
+        self._clock = clock
+        self._monotonic = monotonic
+        #: path -> (mtime_ns, monotonic instant we first saw that mtime)
+        self._watch: dict[Path, tuple[int, float]] = {}
 
     # ------------------------------------------------------------- helpers
     def path_for(self, chunk_id: str) -> Path:
@@ -136,13 +175,32 @@ class LeaseManager:
     def _age(self, path: Path) -> float | None:
         """Seconds since the file's last heartbeat, or None when gone."""
         try:
-            return max(0.0, time.time() - path.stat().st_mtime)
+            return max(0.0, self._clock() - path.stat().st_mtime)
         except OSError:
             return None
 
     def _expired(self, path: Path) -> bool:
-        age = self._age(path)
-        return age is not None and age > self.ttl
+        """Has this lease gone a full TTL without a heartbeat?
+
+        Wall-clock first (fast, exact when clocks agree), then the
+        skew-proof observation path: an mtime we have watched sit unchanged
+        for a TTL of *local monotonic* time is dead regardless of what any
+        other host's clock claims.
+        """
+        try:
+            mtime_ns = path.stat().st_mtime_ns
+        except OSError:
+            self._watch.pop(path, None)
+            return False
+        age = max(0.0, self._clock() - mtime_ns / 1e9)
+        if age > self.ttl + self.clock_skew:
+            return True
+        now = self._monotonic()
+        seen = self._watch.get(path)
+        if seen is None or seen[0] != mtime_ns:
+            self._watch[path] = (mtime_ns, now)
+            return False
+        return now - seen[1] > self.ttl
 
     # ------------------------------------------------------------ claiming
     def try_acquire(self, chunk_id: str, *, worker: str) -> Lease | None:
@@ -157,6 +215,7 @@ class LeaseManager:
         for attempt in range(2):
             lease = self._create(path, chunk_id, worker)
             if lease is not None:
+                self._watch.pop(path, None)
                 return lease
             if attempt == 0 and self._expired(path) and not self._break(path):
                 return None
@@ -164,45 +223,85 @@ class LeaseManager:
                 return None
         return None
 
+    def holder_record(self, chunk_id: str) -> dict | None:
+        """The current lease record of ``chunk_id``, or None when unheld.
+
+        The driver's straggler policy reads ``acquired_unix`` from here to
+        judge how long a *live* lease has been held (a heartbeat refreshes
+        mtime, not the record, so acquisition time survives).
+        """
+        try:
+            record = json.loads(self.path_for(chunk_id).read_text())
+        except (OSError, ValueError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def _exclusive_create(self, path: Path, payload: bytes) -> bool:
+        """Atomically create ``path`` with ``payload``; False when it exists.
+
+        Write-tmp / fsync / ``os.link`` instead of ``O_EXCL`` — NFS-safe,
+        and the ``st_nlink == 2`` re-check converts an applied-but-errored
+        link (lost NFS reply) into the success it actually was.
+        """
+        tmp = path.parent / f".tmp-{os.getpid()}-{uuid.uuid4().hex}"
+        linked = False
+        try:
+            fd = os.open(tmp, os.O_CREAT | os.O_WRONLY, 0o644)
+            try:
+                view = memoryview(payload)
+                while view:
+                    view = view[os.write(fd, view) :]
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            try:
+                os.link(tmp, path)
+                linked = True
+            except OSError:
+                try:
+                    linked = os.stat(tmp).st_nlink == 2
+                except OSError:
+                    linked = False
+        except OSError:
+            linked = False
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        return linked
+
     def _create(self, path: Path, chunk_id: str, worker: str) -> Lease | None:
         token = uuid.uuid4().hex
-        try:
-            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
-        except FileExistsError:
-            return None
         record = {
             "chunk": chunk_id,
             "worker": worker,
             "pid": os.getpid(),
             "host": socket.gethostname(),
             "token": token,
-            "acquired_unix": time.time(),
+            "acquired_unix": self._clock(),
         }
-        try:
-            os.write(fd, (json.dumps(record) + "\n").encode())
-        finally:
-            os.close(fd)
+        payload = (json.dumps(record) + "\n").encode()
+        if not self._exclusive_create(path, payload):
+            return None
         return Lease(path, chunk_id, token, worker)
 
     def _break(self, path: Path) -> bool:
         """Tear down an expired lease; True when the caller cleared it.
 
-        Exactly one contender wins the ``O_EXCL`` creation of the reclaim
+        Exactly one contender wins the exclusive creation of the reclaim
         guard; that winner re-checks the expiry *under the guard* (the owner
         may have heartbeat in between) and only then unlinks the lease.  A
         guard left behind by a crashed reclaimer expires on the same TTL.
         """
         guard = path.with_suffix(".reclaim")
-        try:
-            fd = os.open(guard, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
-        except FileExistsError:
+        if not self._exclusive_create(guard, b"reclaim\n"):
             if self._expired(guard):  # reclaimer died mid-reclaim
                 try:
                     os.unlink(guard)
                 except OSError:
                     pass
             return False
-        os.close(fd)
         try:
             if not self._expired(path):
                 return False
@@ -210,12 +309,14 @@ class LeaseManager:
                 os.unlink(path)
             except FileNotFoundError:
                 pass
+            self._watch.pop(path, None)
             return True
         finally:
             try:
                 os.unlink(guard)
             except OSError:
                 pass
+            self._watch.pop(guard, None)
 
     # ---------------------------------------------------------- inspection
     def active(self) -> list[LeaseInfo]:
@@ -236,7 +337,7 @@ class LeaseManager:
                     pid=int(record.get("pid", -1)),
                     host=str(record.get("host", "?")),
                     age_s=age,
-                    expired=age > self.ttl,
+                    expired=age > self.ttl + self.clock_skew,
                 )
             )
         infos.sort(key=lambda info: -info.age_s)
@@ -244,32 +345,71 @@ class LeaseManager:
 
 
 class Heartbeat:
-    """Background thread refreshing one lease every ``interval`` seconds.
+    """Background thread refreshing leases every ``interval`` seconds.
 
     The driver starts one around each chunk computation: the worker's main
     thread is busy simulating/searching, the heartbeat keeps the lease's
     mtime young so other workers do not reclaim it.  Stops itself the moment
     a refresh reports lost ownership (the lease's ``lost`` flag then tells
     the driver not to publish).
+
+    ``extras`` are additional leases (e.g. a prefetched next chunk) kept
+    alive alongside the primary; one of them going lost drops it from the
+    refresh set without stopping the primary's heartbeat.
+
+    The thread is a daemon and :meth:`stop` joins it with a bounded timeout
+    — a worker crashing out of a chunk can neither hang on a wedged
+    filesystem during unwind nor keep a lease looking fresh after the
+    process should be dead.
     """
 
-    def __init__(self, lease: Lease, interval: float):
+    def __init__(
+        self,
+        lease: Lease,
+        interval: float,
+        *,
+        extras: Iterable[Lease] = (),
+    ):
         if interval <= 0:
             raise ValueError("heartbeat interval must be positive (seconds)")
         self.lease = lease
         self.interval = float(interval)
+        self.extras = list(extras)
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
 
     def _run(self) -> None:
         while not self._stop.wait(self.interval):
-            if not self.lease.refresh():
+            try:
+                for extra in list(self.extras):
+                    if not extra.refresh():
+                        self.extras.remove(extra)
+                if not self.lease.refresh():
+                    return
+            except Exception:
+                # A refresh can only fail by marking the lease lost; anything
+                # else (injected fault surfacing oddly, interpreter teardown)
+                # must not kill the thread silently mid-loop — stop cleanly
+                # and let the driver's owned() check decide.
                 return
 
-    def __enter__(self) -> "Heartbeat":
+    def start(self) -> "Heartbeat":
         self._thread.start()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def stop(self, timeout: float = 5.0) -> None:
+        """Signal the thread and join it, waiting at most ``timeout``.
+
+        The bounded join means a heartbeat wedged inside a dead NFS mount
+        cannot hang the worker's cleanup; the thread is a daemon, so it
+        also cannot outlive the process.
+        """
         self._stop.set()
-        self._thread.join()
+        if self._thread.is_alive():
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "Heartbeat":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

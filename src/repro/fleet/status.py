@@ -27,20 +27,25 @@ def fleet_status(job: FleetJob, *, ttl: float) -> dict:
     heartbeats and which as expired (reclaimable, owner presumed dead).
     """
     chunks = job.chunks()
-    complete = job.store.completed_ids() & {chunk.chunk_id for chunk in chunks}
+    published = job.store.completed_ids()
+    complete = published & {chunk.chunk_id for chunk in chunks}
+    splits = len(list(job.store.directory.glob("split-*.json")))
     leases = LeaseManager(job.store.directory / LEASE_DIR_NAME, ttl=ttl)
     running = []
     expired = []
     for info in leases.active():
-        if info.chunk_id in complete:
+        if info.chunk_id in published:
             continue  # released-after-publish race; ignore
         (expired if info.expired else running).append(info)
     return {
         "chunks": len(chunks),
         "complete": len(complete),
+        "splits": splits,
         "running": running,
         "expired": expired,
-        "pending": len(chunks) - len(complete) - len(running) - len(expired),
+        "pending": max(
+            0, len(chunks) - len(complete) - len(running) - len(expired)
+        ),
         "done": len(complete) == len(chunks),
     }
 
@@ -63,17 +68,22 @@ def store_status(directory: str | Path, *, ttl: float) -> dict:
         )
     identity = json.loads(identity_path.read_text())
     num_chunks = int(identity["num_chunks"])
-    complete = store.completed_ids()
+    published = store.completed_ids()
+    # Sub-chunk files (``<parent>.s<i>``) are split work in flight; only
+    # whole-chunk files count toward manifest completion.
+    complete = {chunk_id for chunk_id in published if "." not in chunk_id}
+    splits = len(list(store.directory.glob("split-*.json")))
     leases = LeaseManager(store.directory / LEASE_DIR_NAME, ttl=ttl)
     running = []
     expired = []
     for info in leases.active():
-        if info.chunk_id in complete:
+        if info.chunk_id in published:
             continue  # released-after-publish race; ignore
         (expired if info.expired else running).append(info)
     return {
         "chunks": num_chunks,
         "complete": min(len(complete), num_chunks),
+        "splits": splits,
         "running": running,
         "expired": expired,
         "pending": max(
@@ -105,6 +115,11 @@ def format_status(status: dict, *, summary: str = "") -> str:
     lines = [
         f"chunks: {status['complete']}/{status['chunks']} complete, "
         f"{len(status['running'])} running, {status['pending']} unclaimed"
+        + (
+            f", {status['splits']} split into sub-chunks"
+            if status.get("splits")
+            else ""
+        )
         + (
             f", {len(status['expired'])} expired lease(s) awaiting reclaim"
             if status["expired"]

@@ -82,6 +82,8 @@ __all__ = [
     "WorkItem",
     "SweepChunk",
     "make_chunks",
+    "split_chunk",
+    "assemble_split",
     "ChunkManifest",
     "ChunkStore",
     "StoreIdentityError",
@@ -192,6 +194,101 @@ def make_chunks(items, chunk_size: int, identity: list) -> tuple[SweepChunk, ...
         chunk_id = hashlib.sha256(payload.encode()).hexdigest()[:16]
         chunks.append(SweepChunk(chunk_id=chunk_id, index=index, items=chunk_items))
     return tuple(chunks)
+
+
+def split_chunk(chunk: SweepChunk, parts: int = 2) -> tuple[SweepChunk, ...]:
+    """Cut one chunk into deterministically named contiguous sub-chunks.
+
+    Sub-chunk ``i`` of ``chunk`` is always named ``<chunk_id>.s<i>`` and
+    always holds the same contiguous slice of the parent's items, so every
+    fleet worker — with no coordination beyond seeing a split marker —
+    derives the identical sub-chunk set and agrees on which lease and which
+    result file belongs to which slice (the Bobpp-style deterministic
+    partitioning contract, one level down).  Concatenating the sub-chunks'
+    records in sub-index order reproduces the parent's records exactly,
+    which is what makes :func:`assemble_split` byte-identical to running
+    the parent unsplit.
+    """
+    if parts < 2:
+        raise ValueError("a split needs parts >= 2")
+    if len(chunk.items) < 2:
+        raise ValueError(f"chunk {chunk.chunk_id} has fewer than 2 items")
+    parts = min(parts, len(chunk.items))
+    base, extra = divmod(len(chunk.items), parts)
+    subs = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        subs.append(
+            SweepChunk(
+                chunk_id=f"{chunk.chunk_id}.s{index}",
+                index=index,
+                items=tuple(chunk.items[start : start + size]),
+            )
+        )
+        start += size
+    return tuple(subs)
+
+
+def assemble_split(store: "ChunkStore", chunk: SweepChunk, parts: int) -> bool:
+    """Fold a fully published split back into the parent chunk file.
+
+    Returns False when any sub-chunk is still unpublished (nothing is
+    written), True once the parent file exists.  The parent's records are
+    the sub-chunks' records concatenated in sub-index order — chunk
+    computations are pure per work item, so the assembled file is
+    **byte-identical** to the file a worker running the unsplit chunk
+    publishes; concurrent assemblers (or the original straggler finishing
+    late) all rename identical bytes into place, a benign race.
+    """
+    if store.is_complete(chunk):
+        return True
+    subs = split_chunk(chunk, parts)
+    if not all(store.is_complete(sub) for sub in subs):
+        return False
+    records: list[dict] = []
+    for sub in subs:
+        records.extend(store.read(sub))
+    store.write(chunk, records)
+    return True
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort fsync of a directory (persists renames across crashes).
+
+    ``os.replace`` is atomic, but on a crash the *directory entry* may still
+    be lost unless the directory itself is synced — the classic
+    write/fsync/rename/fsync-dir discipline NFS and ext4 documentation both
+    prescribe.  Failure is ignored: some filesystems refuse O_RDONLY opens
+    of directories, and durability is an upgrade, not a correctness
+    requirement (a lost rename just means the chunk is recomputed).
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _write_payload(fd: int, payload: bytes) -> None:
+    """Write ``payload`` to ``fd`` fully, then fsync.
+
+    One explicit ``os.write`` loop instead of a buffered text handle: the
+    write is a visible seam (the chaos harness injects torn writes and
+    EIO/ENOSPC exactly here), and a partial write followed by a crash can
+    only ever leave a *temporary* file torn — publication renames only
+    after the full payload and the fsync succeeded.
+    """
+    view = memoryview(payload)
+    while view:
+        written = os.write(fd, view)
+        view = view[written:]
+    os.fsync(fd)
 
 
 @dataclass(frozen=True)
@@ -337,19 +434,26 @@ class ChunkStore:
         }
 
     def write(self, chunk: SweepChunk, records: list[dict]) -> Path:
-        """Atomically publish a chunk's records (write-temp, fsync, rename)."""
+        """Atomically publish a chunk's records (write-temp, fsync, rename).
+
+        The full payload — records plus footer — is serialised first and
+        pushed through one :func:`os.write` loop, so a crash or injected
+        fault at any point leaves either no file or a ``.tmp-*`` orphan,
+        never a half-published ``chunk-*.jsonl``.
+        """
         target = self.path_for(chunk)
+        lines = [json.dumps(record, separators=(",", ":")) for record in records]
+        footer = {self.FOOTER_KEY: chunk.chunk_id, "records": len(records)}
+        lines.append(json.dumps(footer, separators=(",", ":")))
+        payload = ("\n".join(lines) + "\n").encode()
         fd, tmp_name = tempfile.mkstemp(
             prefix=f".tmp-{chunk.chunk_id}-", suffix=".jsonl", dir=self.directory
         )
         try:
-            with os.fdopen(fd, "w") as handle:
-                for record in records:
-                    handle.write(json.dumps(record, separators=(",", ":")) + "\n")
-                footer = {self.FOOTER_KEY: chunk.chunk_id, "records": len(records)}
-                handle.write(json.dumps(footer, separators=(",", ":")) + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
+            try:
+                _write_payload(fd, payload)
+            finally:
+                os.close(fd)
             os.replace(tmp_name, target)
         except BaseException:
             try:
@@ -357,7 +461,79 @@ class ChunkStore:
             except OSError:
                 pass
             raise
+        _fsync_directory(self.directory)
         return target
+
+    def split_path(self, chunk: SweepChunk) -> Path:
+        """The split-marker file announcing that ``chunk`` was split."""
+        return self.directory / f"split-{chunk.chunk_id}.json"
+
+    def request_split(self, chunk: SweepChunk, parts: int = 2) -> int:
+        """Announce (or observe) a split of ``chunk`` into sub-chunks.
+
+        The first caller publishes a marker file naming ``parts``; every
+        later caller — and every racing worker — reads the winner's value
+        back, so all workers agree on one sub-chunk set.  Exclusivity uses
+        the write-tmp/fsync/``os.link`` discipline (see
+        :meth:`repro.fleet.leases.LeaseManager`) rather than ``O_EXCL``,
+        which NFSv2-era servers do not implement atomically.  Returns the
+        agreed part count.
+        """
+        parts = min(max(2, parts), len(chunk.items))
+        if len(chunk.items) < 2:
+            raise ValueError(f"chunk {chunk.chunk_id} has fewer than 2 items")
+        marker = self.split_path(chunk)
+        existing = self.split_parts(chunk)
+        if existing is not None:
+            return existing
+        payload = json.dumps(
+            {"chunk": chunk.chunk_id, "parts": parts}, separators=(",", ":")
+        ).encode() + b"\n"
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".tmp-split-{chunk.chunk_id}-", suffix=".json", dir=self.directory
+        )
+        linked = False
+        try:
+            try:
+                _write_payload(fd, payload)
+            finally:
+                os.close(fd)
+            try:
+                os.link(tmp_name, marker)
+                linked = True
+            except OSError:
+                # Either we lost the race, or the link was applied but the
+                # reply was lost (NFS retransmit) — st_nlink distinguishes.
+                try:
+                    linked = os.stat(tmp_name).st_nlink == 2
+                except OSError:
+                    linked = False
+        finally:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+        if linked:
+            _fsync_directory(self.directory)
+            return parts
+        winner = self.split_parts(chunk)
+        if winner is None:
+            raise OSError(f"could not publish or read split marker {marker.name}")
+        return winner
+
+    def split_parts(self, chunk: SweepChunk) -> int | None:
+        """The published part count of a split chunk, or None if unsplit."""
+        marker = self.split_path(chunk)
+        try:
+            data = json.loads(marker.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            return None
+        if data.get("chunk") != chunk.chunk_id:
+            return None
+        parts = data.get("parts")
+        return parts if isinstance(parts, int) and parts >= 2 else None
 
     def read(self, chunk: SweepChunk) -> list[dict]:
         """The records of a completed chunk, validated against its footer.
@@ -456,15 +632,15 @@ def ensure_store_identity(store: ChunkStore, identity: dict) -> None:
                 "parameters"
             )
         return
+    payload = (json.dumps(identity, indent=2, sort_keys=True) + "\n").encode()
     fd, tmp_name = tempfile.mkstemp(
         prefix=".tmp-manifest-", suffix=".json", dir=store.directory
     )
     try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(identity, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        try:
+            _write_payload(fd, payload)
+        finally:
+            os.close(fd)
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -472,6 +648,7 @@ def ensure_store_identity(store: ChunkStore, identity: dict) -> None:
         except OSError:
             pass
         raise
+    _fsync_directory(store.directory)
 
 
 class SplitVerdictCache:
@@ -777,6 +954,14 @@ def merge_sweep(
     if not isinstance(store, ChunkStore):
         store = ChunkStore(store)
     ensure_store_identity(store, manifest.identity())
+    for chunk in manifest.chunks:
+        # A straggler split whose assembler died after the last sub-chunk
+        # published is still mergeable — fold it back here rather than
+        # reporting the parent missing.
+        if not store.is_complete(chunk):
+            parts = store.split_parts(chunk)
+            if parts is not None:
+                assemble_split(store, chunk, parts)
     missing = [
         chunk.chunk_id for chunk in manifest.chunks if not store.is_complete(chunk)
     ]
@@ -796,7 +981,14 @@ def merge_sweep(
         # (any edit to a verdict-defining source) or different parameters
         # (chunk_size, require_exact, range) rename every chunk id.  Saying
         # "re-run the shards" alone would silently discard a completed sweep.
-        orphans = store.completed_ids() - {c.chunk_id for c in manifest.chunks}
+        known = {c.chunk_id for c in manifest.chunks}
+        orphans = {
+            chunk_id
+            for chunk_id in store.completed_ids() - known
+            # Sub-chunk files (``<parent>.s<i>``) of a known chunk are split
+            # work in flight, not foreign-manifest leftovers.
+            if chunk_id.partition(".")[0] not in known
+        }
         if orphans:
             message += (
                 f"; NOTE: the store also holds {len(orphans)} chunk file(s) from "

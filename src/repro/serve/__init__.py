@@ -20,7 +20,12 @@ horizontal scale-out is free.  This package turns that asset into a service:
 Everything is stdlib ``asyncio`` + numpy; there are no new dependencies.
 """
 
-from repro.serve.bench import BenchResult, ServerThread, run_bench
+from repro.serve.bench import (
+    BenchResult,
+    ExponentialBackoff,
+    ServerThread,
+    run_bench,
+)
 from repro.serve.metrics import LatencyHistogram, ServeMetrics
 from repro.serve.protocol import (
     QUERY_OPS,
@@ -46,5 +51,6 @@ __all__ = [
     "RouteQueryServer",
     "ServerThread",
     "BenchResult",
+    "ExponentialBackoff",
     "run_bench",
 ]

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import threading
 import time
 from dataclasses import dataclass
@@ -27,7 +28,13 @@ from dataclasses import dataclass
 from repro.serve.registry import RouterRegistry
 from repro.serve.server import RouteQueryServer
 
-__all__ = ["ServerThread", "http_request", "BenchResult", "run_bench"]
+__all__ = [
+    "ServerThread",
+    "http_request",
+    "ExponentialBackoff",
+    "BenchResult",
+    "run_bench",
+]
 
 
 class ServerThread:
@@ -127,6 +134,39 @@ def http_request(
         connection.close()
 
 
+class ExponentialBackoff:
+    """Jittered exponential retry delays (equal-jitter variant).
+
+    ``delay(attempt)`` for attempt 0, 1, 2, … is drawn uniformly from
+    ``[d/2, d]`` where ``d = min(cap_s, base_s * multiplier**attempt)``.
+    The deterministic half keeps the expected delay growing exponentially
+    (so an overloaded server's offered retry load halves every round);  the
+    jittered half de-correlates clients that were all shed at the same
+    instant — without it every rejected client would retry in lock-step and
+    re-arrive as the same thundering herd that got them shed the first
+    time.  Seedable for reproducible tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        base_s: float = 0.05,
+        cap_s: float = 5.0,
+        multiplier: float = 2.0,
+        seed: int | None = None,
+    ):
+        if base_s <= 0 or cap_s < base_s or multiplier < 1.0:
+            raise ValueError("need 0 < base_s <= cap_s and multiplier >= 1")
+        self.base_s = float(base_s)
+        self.cap_s = float(cap_s)
+        self.multiplier = float(multiplier)
+        self._rng = random.Random(seed)
+
+    def delay(self, attempt: int) -> float:
+        ceiling = min(self.cap_s, self.base_s * self.multiplier**attempt)
+        return ceiling / 2.0 + self._rng.uniform(0.0, ceiling / 2.0)
+
+
 @dataclass
 class BenchResult:
     """One load-generation run against a serve endpoint."""
@@ -144,6 +184,7 @@ class BenchResult:
     p95_s: float
     p99_s: float
     max_s: float
+    retries: int = 0  #: requests re-sent after a 429 (backpressure retries)
 
     def to_json(self) -> dict:
         """The ``BENCH_serve.json`` entry format (keys feed the bench gate)."""
@@ -161,6 +202,7 @@ class BenchResult:
             "p95_s": round(self.p95_s, 6),
             "p99_s": round(self.p99_s, 6),
             "max_s": round(self.max_s, 6),
+            "retries": self.retries,
         }
 
     def describe(self) -> str:
@@ -173,61 +215,122 @@ class BenchResult:
         )
 
 
+#: How many times one request is re-sent after a 429 before the bench fails.
+MAX_RETRY_ATTEMPTS = 8
+
+
+async def _read_response(reader) -> tuple[int, dict[str, str], bytes]:
+    """One HTTP/1.1 response: ``(status code, lowercase headers, body)``."""
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionResetError("server closed the connection")
+    parts = status_line.decode("latin-1").split(None, 2)
+    status = int(parts[1]) if len(parts) >= 2 else 0
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        key, _, value = line.decode("latin-1").partition(":")
+        headers[key.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or 0)
+    body = await reader.readexactly(length) if length else b""
+    return status, headers, body
+
+
 async def _replay_connection(
-    host: str, port: int, payloads: list[bytes], latencies: list[float]
-) -> None:
-    """Send this connection's request payloads sequentially (keep-alive)."""
+    host: str,
+    port: int,
+    payloads: list[bytes],
+    latencies: list[float],
+    *,
+    backoff: ExponentialBackoff,
+    sleep=asyncio.sleep,
+) -> int:
+    """Send this connection's payloads sequentially (keep-alive).
+
+    A ``429`` answer is not a failure: the server is shedding load, and the
+    client's contract is to back off — ``max(Retry-After, jittered
+    exponential delay)`` — and re-send.  Only the finally *accepted*
+    attempt's round-trip enters ``latencies`` (shed attempts measure the
+    server's rejection fast-path, not query latency).  Returns the number
+    of retried sends.
+    """
     reader, writer = await asyncio.open_connection(host, port)
+    retries = 0
     try:
         for payload in payloads:
-            start = time.perf_counter()
-            writer.write(
-                (
-                    f"POST /v1/query HTTP/1.1\r\n"
-                    f"Content-Type: application/json\r\n"
-                    f"Content-Length: {len(payload)}\r\n"
-                    "\r\n"
-                ).encode()
-                + payload
-            )
-            await writer.drain()
-            # Read the status line + headers, then exactly the body.
-            length = 0
-            while True:
-                line = await reader.readline()
-                if line in (b"\r\n", b"\n"):
-                    break
-                if line.lower().startswith(b"content-length:"):
-                    length = int(line.split(b":", 1)[1])
-            body = await reader.readexactly(length)
-            latencies.append(time.perf_counter() - start)
-            reply = json.loads(body)
-            if not reply.get("ok"):
-                raise RuntimeError(f"server rejected a bench query: {reply}")
+            for attempt in range(MAX_RETRY_ATTEMPTS + 1):
+                start = time.perf_counter()
+                writer.write(
+                    (
+                        f"POST /v1/query HTTP/1.1\r\n"
+                        f"Content-Type: application/json\r\n"
+                        f"Content-Length: {len(payload)}\r\n"
+                        "\r\n"
+                    ).encode()
+                    + payload
+                )
+                await writer.drain()
+                status, headers, body = await _read_response(reader)
+                if status == 429:
+                    if attempt >= MAX_RETRY_ATTEMPTS:
+                        raise RuntimeError(
+                            f"server still shedding after "
+                            f"{MAX_RETRY_ATTEMPTS} retries: {body!r}"
+                        )
+                    retries += 1
+                    try:
+                        retry_after = float(headers.get("retry-after", "0"))
+                    except ValueError:
+                        retry_after = 0.0
+                    await sleep(max(retry_after, backoff.delay(attempt)))
+                    continue
+                latencies.append(time.perf_counter() - start)
+                reply = json.loads(body)
+                if not reply.get("ok"):
+                    raise RuntimeError(f"server rejected a bench query: {reply}")
+                break
     finally:
         writer.close()
         try:
             await writer.wait_closed()
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
             pass
+    return retries
 
 
 async def _replay(
-    host: str, port: int, batches: list[bytes], connections: int
-) -> tuple[list[float], float]:
+    host: str,
+    port: int,
+    batches: list[bytes],
+    connections: int,
+    *,
+    backoff_seed: int | None = None,
+) -> tuple[list[float], float, int]:
     per_connection: list[list[bytes]] = [[] for _ in range(connections)]
     for index, payload in enumerate(batches):
         per_connection[index % connections].append(payload)
     latencies: list[float] = []
     start = time.perf_counter()
-    await asyncio.gather(
+    retry_counts = await asyncio.gather(
         *(
-            _replay_connection(host, port, payloads, latencies)
-            for payloads in per_connection
+            _replay_connection(
+                host,
+                port,
+                payloads,
+                latencies,
+                # Per-connection RNG streams: seeded runs replay, but the
+                # connections still jitter independently of each other.
+                backoff=ExponentialBackoff(
+                    seed=None if backoff_seed is None else backoff_seed + index
+                ),
+            )
+            for index, payloads in enumerate(per_connection)
             if payloads
         )
     )
-    return latencies, time.perf_counter() - start
+    return latencies, time.perf_counter() - start, sum(retry_counts)
 
 
 def run_bench(
@@ -271,7 +374,9 @@ def run_bench(
                 {"op": op, "topology": topology, "pairs": chunk}
             ).encode()
         )
-    latencies, wall = asyncio.run(_replay(host, port, batches, connections))
+    latencies, wall, retries = asyncio.run(
+        _replay(host, port, batches, connections, backoff_seed=seed)
+    )
     latencies.sort()
     count = len(latencies)
 
@@ -295,4 +400,5 @@ def run_bench(
         p95_s=percentile(95),
         p99_s=percentile(99),
         max_s=latencies[-1] if latencies else 0.0,
+        retries=retries,
     )

@@ -15,8 +15,20 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 
 __all__ = ["LatencyHistogram", "EndpointMetrics", "ServeMetrics"]
+
+#: Cap on distinct endpoint labels — requests beyond it aggregate under
+#: ``"__other__"`` so an attacker (or a typo'd load generator) sending
+#: unbounded distinct op names cannot grow the metrics dict without limit.
+MAX_ENDPOINTS = 64
+
+#: Cap on the sliding-window qps samples.  At the default 10 s window this
+#: still resolves ~400 samples/s; beyond it old samples are evicted early,
+#: which can only *under*-count qps — memory stays bounded no matter the
+#: request rate or the process uptime.
+MAX_RECENT = 4096
 
 
 class LatencyHistogram:
@@ -96,10 +108,12 @@ class ServeMetrics:
         self._window_s = float(window_s)
         self._started = clock()
         self._endpoints: dict[str, EndpointMetrics] = {}
-        self._recent: list[tuple[float, int]] = []  # (t, queries) ring
+        self._recent: deque[tuple[float, int]] = deque(maxlen=MAX_RECENT)
         self.batches = 0  # micro-batched router calls
         self.coalesced_requests = 0  # requests that shared a batch
         self.max_batch_pairs = 0
+        self.shed = 0  # requests rejected by backpressure (429)
+        self.deadline_exceeded = 0  # requests cancelled at their deadline
 
     def record(
         self, endpoint: str, *, queries: int, seconds: float, error: bool = False
@@ -107,7 +121,11 @@ class ServeMetrics:
         """One completed request: its endpoint/op, batch size and latency."""
         now = self._clock()
         with self._lock:
-            metrics = self._endpoints.setdefault(endpoint, EndpointMetrics())
+            metrics = self._endpoints.get(endpoint)
+            if metrics is None:
+                if len(self._endpoints) >= MAX_ENDPOINTS:
+                    endpoint = "__other__"
+                metrics = self._endpoints.setdefault(endpoint, EndpointMetrics())
             metrics.requests += 1
             metrics.queries += queries
             if error:
@@ -116,7 +134,17 @@ class ServeMetrics:
             self._recent.append((now, queries))
             horizon = now - self._window_s
             while self._recent and self._recent[0][0] < horizon:
-                self._recent.pop(0)
+                self._recent.popleft()
+
+    def record_shed(self) -> None:
+        """One request rejected with 429 by the in-flight limit."""
+        with self._lock:
+            self.shed += 1
+
+    def record_deadline(self) -> None:
+        """One request cancelled because it overran its deadline."""
+        with self._lock:
+            self.deadline_exceeded += 1
 
     def record_batch(self, *, requests: int, pairs: int) -> None:
         """One coalesced router call of the micro-batcher."""
@@ -150,5 +178,9 @@ class ServeMetrics:
                     "batches": self.batches,
                     "coalesced_requests": self.coalesced_requests,
                     "max_batch_pairs": self.max_batch_pairs,
+                },
+                "backpressure": {
+                    "shed": self.shed,
+                    "deadline_exceeded": self.deadline_exceeded,
                 },
             }

@@ -117,6 +117,8 @@ class RouterRegistry:
         self._spec_file: Path | None = None
         self._spec_file_stamp: tuple[float, int] | None = None
         self.reloads = 0
+        self.failed_reloads = 0
+        self.last_error: str | None = None  #: message of the last failed reload
 
     # -------------------------------------------------------------- access
     def get(self, name: str) -> RouterEntry:
@@ -199,6 +201,13 @@ class RouterRegistry:
              "lab": "B(2,6)"}
 
         Returns the names whose entries changed (rebuilt, added or removed).
+
+        **Transactional**: the file is parsed in full and every new entry is
+        built *before* anything is committed to the live registry, in one
+        dict update under the lock.  A truncated file, unparseable JSON, a
+        bad spec string or a router that fails to build therefore leaves the
+        registry exactly on its last good snapshot — a half-written reload
+        can never tear down entries the server is answering from.
         """
         path = Path(path)
         raw = json.loads(path.read_text())
@@ -208,30 +217,73 @@ class RouterRegistry:
             name: self._parse_spec_value(name, value)
             for name, value in raw.items()
         }
-        changed: list[str] = []
-        for name, (spec, router) in sorted(parsed.items()):
-            before = self._entries.get(name)
-            entry = self.add(name, spec, router)
-            if before is None or entry.version != before.version:
-                changed.append(name)
-        for name in self.names():
-            if name not in parsed:
-                self.remove(name)
-                changed.append(name)
+        # Build every changed entry outside the lock (construction can be
+        # slow, and it can fail — nothing is committed yet).
         with self._lock:
+            current = dict(self._entries)
+        built: dict[str, RouterEntry] = {}
+        for name, (spec, router) in sorted(parsed.items()):
+            if router not in ROUTER_KINDS:
+                raise ValueError(
+                    f"unknown router kind {router!r} "
+                    f"(expected one of {ROUTER_KINDS})"
+                )
+            before = current.get(name)
+            if (
+                before is not None
+                and before.spec == spec
+                and before.router_kind == router
+            ):
+                continue  # unchanged — keep the live entry
+            graph = build_graph(spec)
+            built[name] = RouterEntry(
+                name=name,
+                spec=spec,
+                router_kind=router,
+                graph=graph,
+                router=make_router(graph, router),
+                version=0,  # stamped at commit time below
+            )
+        removed = [name for name in current if name not in parsed]
+        stat = path.stat()
+        # Commit: one atomic switch-over of everything that changed.
+        changed: list[str] = []
+        with self._lock:
+            for name, entry in built.items():
+                self._versions += 1
+                self._entries[name] = RouterEntry(
+                    name=entry.name,
+                    spec=entry.spec,
+                    router_kind=entry.router_kind,
+                    graph=entry.graph,
+                    router=entry.router,
+                    version=self._versions,
+                )
+                changed.append(name)
+            for name in removed:
+                if name in self._entries:
+                    del self._entries[name]
+                    changed.append(name)
             self._spec_file = path
-            stat = path.stat()
             self._spec_file_stamp = (stat.st_mtime, stat.st_size)
             if changed:
                 self.reloads += 1
+            self.last_error = None
         return changed
 
-    def reload(self, force: bool = False) -> list[str]:
+    def reload(self, force: bool = False, *, strict: bool = False) -> list[str]:
         """Re-read the bound spec file if it changed; returns changed names.
 
         Cheap when nothing changed (one ``stat``), so the server calls this
         periodically.  ``force=True`` skips the mtime check (the ``/reload``
         endpoint).
+
+        By default a failed re-read **degrades instead of raising**: the
+        registry keeps serving its last good snapshot, the failure is
+        recorded in :attr:`last_error`/:attr:`failed_reloads` (surfaced via
+        ``/stats``), and the next poll retries.  ``strict=True`` propagates
+        the exception — the explicit ``/reload`` endpoint uses it so a
+        caller asking for a reload hears that it failed.
         """
         with self._lock:
             path = self._spec_file
@@ -240,8 +292,21 @@ class RouterRegistry:
             return []
         try:
             stat = path.stat()
-        except OSError:
+        except OSError as exc:
+            if strict:
+                raise
+            with self._lock:
+                self.failed_reloads += 1
+                self.last_error = f"{type(exc).__name__}: {exc}"
             return []
         if not force and stamp == (stat.st_mtime, stat.st_size):
             return []
-        return self.load_spec_file(path)
+        try:
+            return self.load_spec_file(path)
+        except (OSError, ValueError) as exc:
+            if strict:
+                raise
+            with self._lock:
+                self.failed_reloads += 1
+                self.last_error = f"{type(exc).__name__}: {exc}"
+            return []

@@ -59,6 +59,9 @@ class RouteQueryServer:
         max_pairs: int = 65536,
         reload_interval_s: float = 2.0,
         executor_threads: int = 2,
+        max_inflight: int | None = None,
+        request_timeout_s: float | None = None,
+        retry_after_s: float = 0.5,
     ):
         if link is None:
             from repro.simulation.network import LinkModel
@@ -72,6 +75,18 @@ class RouteQueryServer:
         self.batch_pairs = int(batch_pairs)
         self.max_pairs = int(max_pairs)
         self.reload_interval_s = float(reload_interval_s)
+        #: Admission cap on concurrently processed ``/v1/query`` requests.
+        #: Beyond it the server sheds with ``429 + Retry-After`` instead of
+        #: queueing without bound — accepted requests keep their latency,
+        #: and ``/healthz``, ``/stats`` and ``/reload`` stay responsive.
+        self.max_inflight = None if max_inflight is None else int(max_inflight)
+        #: Per-request deadline: a query slower than this is cancelled and
+        #: answered ``503`` so a wedged router call cannot pin a connection
+        #: (and its batch slot) forever.  None disables the deadline.
+        self.request_timeout_s = (
+            None if request_timeout_s is None else float(request_timeout_s)
+        )
+        self.retry_after_s = float(retry_after_s)
         self.metrics = ServeMetrics()
         self._executor = ThreadPoolExecutor(
             max_workers=executor_threads, thread_name_prefix="repro-serve"
@@ -83,6 +98,10 @@ class RouteQueryServer:
         self._pending: dict[tuple, list] = {}
         self._timers: dict[tuple, asyncio.TimerHandle] = {}
         self._connections: set[asyncio.Task] = set()
+        self._inflight = 0
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
 
     # -------------------------------------------------------------- lifecycle
     async def start(self) -> int:
@@ -100,6 +119,23 @@ class RouteQueryServer:
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
         await self._server.serve_forever()
+
+    async def drain(self, grace_s: float = 10.0) -> None:
+        """Graceful shutdown: stop admitting queries, finish in-flight, stop.
+
+        New ``/v1/query`` requests are answered ``503`` the moment draining
+        starts (``/healthz`` turns unhealthy too, so load balancers pull the
+        instance); requests already admitted get up to ``grace_s`` seconds
+        to finish before :meth:`stop` tears the transport down.  This is
+        what the CLI runs on SIGTERM.
+        """
+        self._draining = True
+        if self._inflight and grace_s > 0:
+            try:
+                await asyncio.wait_for(self._idle.wait(), grace_s)
+            except asyncio.TimeoutError:
+                pass  # grace spent — stop() cancels the stragglers
+        await self.stop()
 
     async def stop(self) -> None:
         if self._reload_task is not None:
@@ -137,12 +173,18 @@ class RouteQueryServer:
                     break
                 method, path, headers, body = request
                 keep_alive = headers.get("connection", "").lower() != "close"
-                status, reply = await self._dispatch(method, path, body)
+                result = await self._dispatch(method, path, body)
+                status, reply = result[0], result[1]
+                extra = result[2] if len(result) > 2 else {}
+                extra_lines = "".join(
+                    f"{name}: {value}\r\n" for name, value in extra.items()
+                )
                 payload = (json.dumps(reply) + "\n").encode()
                 writer.write(
                     (
                         f"HTTP/1.1 {status}\r\n"
                         f"{_JSON_HEADERS}"
+                        f"{extra_lines}"
                         f"Content-Length: {len(payload)}\r\n"
                         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
                         "\r\n"
@@ -194,13 +236,33 @@ class RouteQueryServer:
         return method, path, headers, body
 
     async def _dispatch(self, method: str, path: str, body: bytes):
-        """Route one request; returns ``(status line, reply object)``."""
+        """Route one request; ``(status line, reply[, extra headers])``.
+
+        Control-plane routes (``/healthz``, ``/stats``, ``/reload``) bypass
+        admission control on purpose: an overloaded server must still
+        answer its health checks — shedding keeps the data plane bounded
+        precisely so the control plane stays green.
+        """
         if path == "/healthz":
+            if self._draining:
+                return "503 Service Unavailable", {
+                    "ok": False,
+                    "draining": True,
+                    "inflight": self._inflight,
+                }
             return "200 OK", {"ok": True, "topologies": self.registry.names()}
         if path == "/stats":
             stats = self.metrics.snapshot()
             stats["ok"] = True
             stats["topologies"] = self.registry.snapshot()
+            stats["inflight"] = self._inflight
+            stats["max_inflight"] = self.max_inflight
+            stats["draining"] = self._draining
+            stats["reload"] = {
+                "reloads": self.registry.reloads,
+                "failed_reloads": self.registry.failed_reloads,
+                "last_error": self.registry.last_error,
+            }
             return "200 OK", stats
         if path == "/reload":
             if method != "POST":
@@ -209,7 +271,7 @@ class RouteQueryServer:
                     "error": "use POST /reload",
                 }
             try:
-                changed = self.registry.reload(force=True)
+                changed = self.registry.reload(force=True, strict=True)
             except (OSError, ValueError) as error:
                 return "500 Internal Server Error", {
                     "ok": False,
@@ -222,8 +284,58 @@ class RouteQueryServer:
                     "ok": False,
                     "error": "use POST /v1/query",
                 }
-            return await self._handle_query(body)
+            return await self._admit_query(body)
         return "404 Not Found", {"ok": False, "error": f"no route {path!r}"}
+
+    async def _admit_query(self, body: bytes):
+        """Backpressure wrapper around the query path.
+
+        Sheds with ``429 + Retry-After`` at the in-flight cap (bounded
+        queue ⇒ bounded latency for what *is* accepted), refuses with
+        ``503`` while draining, and cancels at the per-request deadline.
+        """
+        retry_header = {"Retry-After": f"{self.retry_after_s:g}"}
+        if self._draining:
+            return (
+                "503 Service Unavailable",
+                {"ok": False, "error": "server is draining"},
+                retry_header,
+            )
+        if self.max_inflight is not None and self._inflight >= self.max_inflight:
+            self.metrics.record_shed()
+            return (
+                "429 Too Many Requests",
+                {
+                    "ok": False,
+                    "error": "server at capacity",
+                    "retry_after_s": self.retry_after_s,
+                },
+                retry_header,
+            )
+        self._inflight += 1
+        self._idle.clear()
+        try:
+            if self.request_timeout_s is not None:
+                try:
+                    return await asyncio.wait_for(
+                        self._handle_query(body), self.request_timeout_s
+                    )
+                except asyncio.TimeoutError:
+                    self.metrics.record_deadline()
+                    return (
+                        "503 Service Unavailable",
+                        {
+                            "ok": False,
+                            "error": "deadline exceeded "
+                            f"({self.request_timeout_s:g}s)",
+                        },
+                        retry_header,
+                    )
+            return await self._handle_query(body)
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
 
     # ----------------------------------------------------------- query path
     async def _handle_query(self, body: bytes):

@@ -1,0 +1,369 @@
+"""Serve robustness suite: backpressure, deadlines, drain, reload degrade.
+
+What PR 9 added to the serve layer, pinned down end to end:
+
+* **admission control** — at ``max_inflight`` concurrent queries the server
+  sheds with ``429 + Retry-After`` instead of queueing without bound, and
+  the control plane (``/healthz``, ``/stats``) stays green throughout;
+* **deadlines** — a query slower than ``request_timeout_s`` is cancelled
+  and answered ``503``, with the cancellation counted in ``/stats``;
+* **drain** — a draining server answers queries and health checks ``503``
+  (so load balancers pull it), finishes what it admitted, then stops;
+* **reload degrade** — a broken spec file never tears down the last good
+  registry snapshot; the failure is visible in ``/stats`` and heals itself;
+* **client backoff** — the bench client's jittered exponential backoff
+  honours ``Retry-After``, converges under shedding, and de-correlates a
+  herd of simultaneously shed clients (pure injected-clock math, no sleeps).
+"""
+
+import http.client
+import json
+import threading
+import time
+from collections import Counter
+
+import pytest
+
+from repro.serve import ExponentialBackoff, RouterRegistry, ServerThread, run_bench
+from repro.serve.bench import http_request
+from repro.serve.metrics import MAX_ENDPOINTS, MAX_RECENT, ServeMetrics
+
+
+def make_registry() -> RouterRegistry:
+    registry = RouterRegistry()
+    registry.add("demo", "B(2,3)")
+    return registry
+
+
+def raw_request(host, port, method, path, body=None, timeout=30):
+    """One round trip returning ``(status, headers dict, parsed body)``."""
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        payload = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"} if payload else {}
+        connection.request(method, path, body=payload, headers=headers)
+        response = connection.getresponse()
+        return (
+            response.status,
+            {k.lower(): v for k, v in response.getheaders()},
+            json.loads(response.read()),
+        )
+    finally:
+        connection.close()
+
+
+QUERY = {"op": "next-hop", "topology": "demo", "pairs": [[0, 1], [1, 2]]}
+
+
+# ---------------------------------------------------------------------------
+# Admission control: 429 + Retry-After, healthz stays green
+# ---------------------------------------------------------------------------
+class TestShedding:
+    def test_overload_sheds_with_retry_after_and_healthz_stays_green(self):
+        # A long batch window pins every query for ~0.3 s, so 8 concurrent
+        # clients are a >4x overload of max_inflight=2.
+        with ServerThread(
+            make_registry(),
+            batch_window_s=0.3,
+            max_inflight=2,
+            retry_after_s=0.25,
+        ) as server:
+            results = [None] * 8
+            barrier = threading.Barrier(8)
+
+            def one(index):
+                barrier.wait()
+                results[index] = raw_request(
+                    server.host, server.port, "POST", "/v1/query", QUERY
+                )
+
+            threads = [
+                threading.Thread(target=one, args=(i,)) for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            # While the first wave is pinned in its batch window, the
+            # control plane must still answer instantly and healthily.
+            health = http_request(server.host, server.port, "GET", "/healthz")
+            assert health["ok"] is True
+            for thread in threads:
+                thread.join(timeout=30)
+            statuses = Counter(status for status, _, _ in results)
+            assert statuses[200] >= 1  # accepted work completed
+            assert statuses[429] >= 1  # overload genuinely shed
+            assert set(statuses) <= {200, 429}
+            for status, headers, body in results:
+                if status == 429:
+                    assert headers["retry-after"] == "0.25"
+                    assert body["retry_after_s"] == 0.25
+                    assert body["ok"] is False
+                else:
+                    assert body["ok"] is True
+            stats = http_request(server.host, server.port, "GET", "/stats")
+            assert stats["backpressure"]["shed"] == statuses[429]
+            assert stats["max_inflight"] == 2
+            assert stats["draining"] is False
+
+    def test_accepted_latency_stays_bounded_under_sustained_overload(self):
+        # The point of shedding: what IS accepted completes in roughly one
+        # batch window, no matter how much excess demand there is — rejected
+        # requests never form a queue behind the admitted ones.
+        window = 0.05
+        with ServerThread(
+            make_registry(),
+            batch_window_s=window,
+            max_inflight=1,
+            retry_after_s=0.01,
+        ) as server:
+            results = []  # (status, seconds) across all hammering threads
+            lock = threading.Lock()
+
+            def hammer():
+                for _ in range(10):
+                    start = time.perf_counter()
+                    status, _, _ = raw_request(
+                        server.host, server.port, "POST", "/v1/query", QUERY
+                    )
+                    with lock:
+                        results.append((status, time.perf_counter() - start))
+
+            threads = [threading.Thread(target=hammer) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            statuses = Counter(status for status, _ in results)
+            assert statuses[429] >= 1  # the overload was real
+            accepted = sorted(s for status, s in results if status == 200)
+            assert accepted
+            p99 = accepted[int(0.99 * (len(accepted) - 1))]
+            assert p99 < window * 10  # bounded — not queue-length dependent
+
+
+# ---------------------------------------------------------------------------
+# Deadlines
+# ---------------------------------------------------------------------------
+class TestDeadline:
+    def test_slow_query_is_cancelled_at_the_deadline(self):
+        # The 0.5 s batch window guarantees the query overruns a 50 ms
+        # deadline; the server must answer 503 promptly, not after 0.5 s.
+        with ServerThread(
+            make_registry(), batch_window_s=0.5, request_timeout_s=0.05
+        ) as server:
+            start = time.perf_counter()
+            status, headers, body = raw_request(
+                server.host, server.port, "POST", "/v1/query", QUERY
+            )
+            elapsed = time.perf_counter() - start
+            assert status == 503
+            assert "deadline exceeded" in body["error"]
+            assert "retry-after" in headers
+            assert elapsed < 0.4  # answered at the deadline, not the window
+            stats = http_request(server.host, server.port, "GET", "/stats")
+            assert stats["backpressure"]["deadline_exceeded"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Drain
+# ---------------------------------------------------------------------------
+class TestDrain:
+    def test_draining_server_refuses_queries_and_reports_unhealthy(self):
+        with ServerThread(make_registry()) as server:
+            assert raw_request(
+                server.host, server.port, "GET", "/healthz"
+            )[0] == 200
+            server.server._draining = True
+            status, _, body = raw_request(
+                server.host, server.port, "GET", "/healthz"
+            )
+            assert status == 503
+            assert body["draining"] is True
+            status, headers, body = raw_request(
+                server.host, server.port, "POST", "/v1/query", QUERY
+            )
+            assert status == 503
+            assert "draining" in body["error"]
+            assert "retry-after" in headers
+            # the control plane still answers while draining
+            assert raw_request(server.host, server.port, "GET", "/stats")[
+                2
+            ]["draining"] is True
+            server.server._draining = False
+
+    def test_drain_stops_the_server(self):
+        import asyncio
+
+        server_thread = ServerThread(make_registry()).start()
+        try:
+            host, port = server_thread.host, server_thread.port
+            assert http_request(host, port, "GET", "/healthz")["ok"]
+            future = asyncio.run_coroutine_threadsafe(
+                server_thread.server.drain(grace_s=1.0), server_thread._loop
+            )
+            future.result(timeout=10)
+            with pytest.raises(OSError):
+                raw_request(host, port, "GET", "/healthz", timeout=2)
+        finally:
+            server_thread.stop()
+
+
+# ---------------------------------------------------------------------------
+# Reload degrade: last-good snapshot survives a broken spec file
+# ---------------------------------------------------------------------------
+class TestReloadDegrade:
+    def test_broken_spec_file_degrades_and_heals(self, tmp_path):
+        spec = tmp_path / "topologies.json"
+        spec.write_text(json.dumps({"demo": "B(2,3)"}))
+        registry = RouterRegistry()
+        registry.load_spec_file(spec)
+        spec.write_text('{"demo": "B(2,')  # torn mid-write
+        assert registry.reload(force=True) == []
+        assert registry.failed_reloads == 1
+        assert "ValueError" in registry.last_error or "JSON" in registry.last_error
+        assert registry.get("demo").spec == "B(2,3)"  # last-good serves on
+        spec.write_text(json.dumps({"demo": "B(2,4)"}))
+        assert registry.reload(force=True) == ["demo"]
+        assert registry.get("demo").spec == "B(2,4)"
+        assert registry.last_error is None
+
+    def test_bad_spec_never_half_commits(self, tmp_path):
+        # One good entry + one broken entry in the same file: the reload
+        # must commit NEITHER (transactional), not apply the good half.
+        spec = tmp_path / "topologies.json"
+        spec.write_text(json.dumps({"a": "B(2,3)", "b": "B(2,4)"}))
+        registry = RouterRegistry()
+        registry.load_spec_file(spec)
+        versions = {name: registry.get(name).version for name in ("a", "b")}
+        spec.write_text(json.dumps({"a": "B(2,5)", "b": "X(9,9)"}))
+        assert registry.reload(force=True) == []
+        assert registry.get("a").spec == "B(2,3)"
+        assert registry.get("a").version == versions["a"]
+        assert registry.get("b").version == versions["b"]
+
+    def test_stats_and_reload_endpoint_surface_failures(self, tmp_path):
+        spec = tmp_path / "topologies.json"
+        spec.write_text(json.dumps({"demo": "B(2,3)"}))
+        registry = RouterRegistry()
+        registry.load_spec_file(spec)
+        with ServerThread(registry, reload_interval_s=0) as server:
+            spec.write_text("not json at all")
+            status, _, body = raw_request(
+                server.host, server.port, "POST", "/reload"
+            )
+            assert status == 500
+            assert "reload failed" in body["error"]
+            # the strict endpoint failed loudly; the degrade path records it
+            registry.reload(force=True)
+            stats = http_request(server.host, server.port, "GET", "/stats")
+            assert stats["reload"]["failed_reloads"] >= 1
+            assert stats["reload"]["last_error"]
+            # and the data plane never blinked
+            reply = http_request(
+                server.host, server.port, "POST", "/v1/query", QUERY
+            )
+            assert reply["ok"] is True
+
+
+# ---------------------------------------------------------------------------
+# Bench client: Retry-After + jittered backoff convergence
+# ---------------------------------------------------------------------------
+class TestBenchRetry:
+    def test_bench_converges_against_a_shedding_server(self):
+        with ServerThread(
+            make_registry(),
+            batch_window_s=0.01,
+            max_inflight=1,
+            retry_after_s=0.01,
+        ) as server:
+            result = run_bench(
+                server.host,
+                server.port,
+                topology="demo",
+                messages=1024,
+                batch_pairs=64,
+                connections=4,
+                seed=3,
+            )
+        assert result.queries == 1024
+        assert result.requests == 1024 // 64  # every batch finally accepted
+        assert result.retries > 0  # shedding actually happened...
+        assert result.to_json()["retries"] == result.retries
+
+    def test_seeded_backoff_replays(self):
+        first = ExponentialBackoff(seed=42)
+        second = ExponentialBackoff(seed=42)
+        assert [first.delay(a) for a in range(6)] == [
+            second.delay(a) for a in range(6)
+        ]
+
+    def test_delay_bounds_and_cap(self):
+        backoff = ExponentialBackoff(base_s=0.1, cap_s=1.0, seed=0)
+        for attempt in range(12):
+            ceiling = min(1.0, 0.1 * 2.0**attempt)
+            delay = backoff.delay(attempt)
+            assert ceiling / 2.0 <= delay <= ceiling
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialBackoff(base_s=0.0)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(base_s=1.0, cap_s=0.5)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(multiplier=0.9)
+
+    def test_herd_decorrelates_on_an_injected_clock(self):
+        # 200 clients all shed at t=0 retry under seeded equal-jitter
+        # backoff.  Pure arithmetic — no sleeping, no server: compute each
+        # client's cumulative retry instants and show the herd spreads out
+        # instead of re-arriving in lock-step.
+        clients = [
+            ExponentialBackoff(base_s=0.05, cap_s=5.0, seed=seed)
+            for seed in range(200)
+        ]
+        elapsed = [0.0] * len(clients)
+        arrivals = []  # arrivals[k] = sorted retry instants of attempt k
+        for attempt in range(5):
+            for index, client in enumerate(clients):
+                elapsed[index] += client.delay(attempt)
+            arrivals.append(sorted(elapsed))
+
+        def peak_density(instants, window=0.05):
+            buckets = Counter(int(t / window) for t in instants)
+            return max(buckets.values())
+
+        # Attempt 0 is one solid herd (every delay lands in [base/2, base],
+        # inside a single 50 ms window); by attempt 3 no window holds more
+        # than ~a quarter of the clients and the decay continues — the
+        # "same thundering herd re-arrives" failure mode is gone.
+        assert peak_density(arrivals[0]) == len(clients)
+        assert peak_density(arrivals[3]) < len(clients) * 0.35
+        assert peak_density(arrivals[4]) < peak_density(arrivals[3])
+        span = lambda xs: xs[-1] - xs[0]  # noqa: E731
+        assert span(arrivals[3]) > 4 * span(arrivals[0])
+
+
+# ---------------------------------------------------------------------------
+# Bounded metrics
+# ---------------------------------------------------------------------------
+class TestBoundedMetrics:
+    def test_endpoint_labels_cap_at_max_with_overflow_bucket(self):
+        metrics = ServeMetrics()
+        for index in range(MAX_ENDPOINTS + 50):
+            metrics.record(f"op-{index:04d}", queries=1, seconds=0.001)
+        endpoints = metrics.snapshot()["endpoints"]
+        assert len(endpoints) == MAX_ENDPOINTS + 1  # the cap + "__other__"
+        assert endpoints["__other__"]["requests"] == 50
+        # totals are conserved — overflow aggregates, never drops
+        assert sum(e["requests"] for e in endpoints.values()) == (
+            MAX_ENDPOINTS + 50
+        )
+
+    def test_qps_window_deque_is_bounded_on_a_frozen_clock(self):
+        # A frozen clock means no sample ever ages out of the window — the
+        # deque maxlen is the only thing standing between a hot server and
+        # unbounded growth.
+        metrics = ServeMetrics(clock=lambda: 100.0)
+        for _ in range(MAX_RECENT + 500):
+            metrics.record("op", queries=1, seconds=0.001)
+        assert len(metrics._recent) == MAX_RECENT
+        assert metrics.queries_per_second() > 0
