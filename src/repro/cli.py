@@ -524,6 +524,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--raw", action="store_true", help="print the raw JSON snapshot"
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="AST contract checker: clock seams, atomic writes, sorted "
+        "listings, lock discipline, fingerprint coverage, private access",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="machine-readable findings on stdout"
+    )
+    lint.add_argument(
+        "--rules",
+        help="comma-separated rule names to run (default: all; see --list-rules)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule names and exit"
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline of accepted findings to subtract (default: "
+        "lint-baseline.json when it exists; pass 'none' to disable)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+
     fleet = sub.add_parser(
         "fleet",
         help="lease-based fleet driver: workers auto-assign sweep/sim chunks",
@@ -1650,6 +1684,54 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_lint(args) -> int:
+    """``repro lint``: 0 clean, 1 findings, 2 usage errors."""
+    from pathlib import Path
+
+    from repro import lint
+
+    if args.list_rules:
+        for rule in lint.all_rules():
+            print(rule)
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = tuple(part.strip() for part in args.rules.split(",") if part.strip())
+
+    baseline_path: Path | None
+    if args.baseline == "none":
+        baseline_path = None
+    elif args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:
+        default = Path("lint-baseline.json")
+        baseline_path = default if default.exists() else None
+
+    try:
+        findings = lint.run_lint([Path(p) for p in args.paths], rules=rules)
+    except ValueError as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = baseline_path or Path("lint-baseline.json")
+        lint.write_baseline(findings, target)
+        print(f"wrote {len(findings)} finding(s) to {target}")
+        return 0
+
+    if baseline_path is not None:
+        try:
+            findings = lint.apply_baseline(findings, lint.load_baseline(baseline_path))
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            print(f"repro lint: bad baseline {baseline_path}: {error}", file=sys.stderr)
+            return 2
+
+    output = lint.render_json(findings) if args.json else lint.render_text(findings)
+    print(output, end="")
+    return 1 if findings else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     from repro.otis.sweep import StoreIdentityError
@@ -1667,6 +1749,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "fleet": _cmd_fleet,
         "serve": _cmd_serve,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

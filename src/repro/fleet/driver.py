@@ -201,7 +201,7 @@ class SimFleetJob(FleetJob):
         self._arrays = verify_traffics(manifest, traffics)
 
     def run_chunk(self, chunk: SweepChunk) -> list[dict]:
-        from repro.simulation.sharding import _run_replica_chunk
+        from repro.simulation.sharding import run_replica_chunk
 
         payload = (
             self.graph,
@@ -210,7 +210,7 @@ class SimFleetJob(FleetJob):
             self.manifest.scenario,
             [(index, self._arrays[index]) for index, _ in chunk.items],
         )
-        return _run_replica_chunk(payload)
+        return run_replica_chunk(payload)
 
     def merge(self):
         from repro.simulation.sharding import merge_replica_stats
@@ -280,7 +280,7 @@ def _build_units(job: FleetJob, published: set[str]) -> list[_Unit]:
     """
     split_ids = {
         path.name[len("split-") : -len(".json")]
-        for path in job.store.directory.glob("split-*.json")
+        for path in sorted(job.store.directory.glob("split-*.json"))
     }
     units: list[_Unit] = []
     for chunk in job.chunks():
@@ -426,14 +426,17 @@ def run_fleet(
     def _maybe_split_stragglers() -> bool:
         """Idle-time straggler policy; True when a new split was published."""
         requested = False
-        now = time.time()
+        # The lease manager's clock, not time.time(): straggler age compares
+        # against lease acquisition stamps written by that same clock, and a
+        # chaos-injected frozen/skewed clock must govern both sides alike.
+        now = leases.now()
         for chunk in job.chunks():
             if len(chunk.items) < 2 or job.store.is_complete(chunk):
                 continue
             if job.store.split_parts(chunk) is not None:
                 continue
             record = leases.holder_record(chunk.chunk_id)
-            if record is None or leases._expired(leases.path_for(chunk.chunk_id)):
+            if record is None or leases.is_expired(leases.path_for(chunk.chunk_id)):
                 continue  # unheld or reclaimable — ordinary claiming handles it
             acquired = record.get("acquired_unix")
             if not isinstance(acquired, (int, float)):

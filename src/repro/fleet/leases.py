@@ -172,6 +172,16 @@ class LeaseManager:
     def path_for(self, chunk_id: str) -> Path:
         return self.directory / f"{chunk_id}.lease"
 
+    def now(self) -> float:
+        """The manager's wall-clock reading, through the injected seam.
+
+        Callers that need "what time is it?" for lease-adjacent decisions
+        (the driver's straggler-age policy) read it here rather than calling
+        ``time.time()`` themselves, so a chaos-injected frozen or skewed
+        clock governs *their* arithmetic exactly as it governs expiry.
+        """
+        return self._clock()
+
     def _age(self, path: Path) -> float | None:
         """Seconds since the file's last heartbeat, or None when gone."""
         try:
@@ -179,7 +189,7 @@ class LeaseManager:
         except OSError:
             return None
 
-    def _expired(self, path: Path) -> bool:
+    def is_expired(self, path: Path) -> bool:
         """Has this lease gone a full TTL without a heartbeat?
 
         Wall-clock first (fast, exact when clocks agree), then the
@@ -202,6 +212,9 @@ class LeaseManager:
             return False
         return now - seen[1] > self.ttl
 
+    #: Backwards-compatible alias from before ``is_expired`` was public.
+    _expired = is_expired
+
     # ------------------------------------------------------------ claiming
     def try_acquire(self, chunk_id: str, *, worker: str) -> Lease | None:
         """One attempt to claim ``chunk_id``; None when someone holds it.
@@ -217,9 +230,9 @@ class LeaseManager:
             if lease is not None:
                 self._watch.pop(path, None)
                 return lease
-            if attempt == 0 and self._expired(path) and not self._break(path):
+            if attempt == 0 and self.is_expired(path) and not self._break(path):
                 return None
-            if attempt == 0 and path.exists() and not self._expired(path):
+            if attempt == 0 and path.exists() and not self.is_expired(path):
                 return None
         return None
 
@@ -296,14 +309,14 @@ class LeaseManager:
         """
         guard = path.with_suffix(".reclaim")
         if not self._exclusive_create(guard, b"reclaim\n"):
-            if self._expired(guard):  # reclaimer died mid-reclaim
+            if self.is_expired(guard):  # reclaimer died mid-reclaim
                 try:
                     os.unlink(guard)
                 except OSError:
                     pass
             return False
         try:
-            if not self._expired(path):
+            if not self.is_expired(path):
                 return False
             try:
                 os.unlink(path)

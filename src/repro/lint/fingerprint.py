@@ -1,0 +1,213 @@
+"""fingerprint-coverage: verdict-defining code must be fingerprinted.
+
+Chunk identity is ``params + code_version()``: ``fingerprint_paths`` hashes
+the source bytes of every module listed in ``_VERDICT_SOURCES``
+(otis/sweep.py) / ``_SIM_SOURCES`` (simulation/sharding.py), so editing
+verdict-defining code renames every chunk and forces recomputation instead
+of silently merging stale results.  The contract only holds if the tuples
+actually *cover* the verdict paths — and nothing enforced that: a new
+``import`` in a covered module quietly extends the verdict closure without
+extending the fingerprint.
+
+This checker closes that hole with an import-graph walk.  For each
+declared tuple it parses the tuple literal out of the declaring module,
+then BFS-walks **module-level imports** (including those under top-level
+``if``/``try`` — e.g. optional-backend guards — but *not* imports inside
+functions: lazy imports are runtime dependencies of a call, not of the
+verdict definition) restricted to the ``repro`` package.  Every file
+reachable from the declared set must itself be declared or explicitly
+exempt (``FingerprintDecl.exempt``; ``version.py`` is exempt because
+``fingerprint_paths`` hashes ``__version__`` directly).  Package
+``__init__.py`` files are only followed when explicitly imported as a
+module (``from repro import kernels``) — mere attribute traversal of a
+parent package is namespace plumbing, not verdict logic.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint.core import Finding, LintConfig, ModuleContext
+
+RULE = "fingerprint-coverage"
+
+
+def _declared_tuple(tree: ast.Module, variable: str):
+    """``(entries, lineno)`` of the ``variable = ("a.py", ...)`` literal."""
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == variable for t in stmt.targets
+        ):
+            continue
+        if isinstance(stmt.value, (ast.Tuple, ast.List)):
+            entries = []
+            for element in stmt.value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    entries.append(element.value)
+            return tuple(entries), stmt.lineno
+    return None, None
+
+
+def _top_level_imports(tree: ast.Module):
+    """Import nodes executed at import time (module body, top-level if/try)."""
+    stack = list(tree.body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            yield stmt
+        elif isinstance(stmt, ast.If):
+            stack.extend(stmt.body)
+            stack.extend(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            stack.extend(stmt.body)
+            stack.extend(stmt.orelse)
+            stack.extend(stmt.finalbody)
+            for handler in stmt.handlers:
+                stack.extend(handler.body)
+
+
+def _module_file(pkg_root: Path, tail: str) -> str | None:
+    """Package-relative file for dotted ``tail`` below the package, if any."""
+    if not tail:
+        return None
+    base = pkg_root.joinpath(*tail.split("."))
+    if base.with_suffix(".py").is_file():
+        return base.with_suffix(".py").relative_to(pkg_root).as_posix()
+    if (base / "__init__.py").is_file():
+        return (base / "__init__.py").relative_to(pkg_root).as_posix()
+    return None
+
+
+def _imports_of(rel: str, tree: ast.Module, pkg_root: Path, package: str):
+    """Package-relative files imported at module level by ``rel``."""
+    prefix = package + "."
+    targets: set[str] = set()
+    for node in _top_level_imports(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == package or alias.name.startswith(prefix):
+                    tail = alias.name[len(package) :].lstrip(".")
+                    resolved = _module_file(pkg_root, tail)
+                    if resolved:
+                        targets.add(resolved)
+        else:  # ImportFrom
+            if node.level == 0:
+                if node.module is None:
+                    continue
+                if node.module != package and not node.module.startswith(prefix):
+                    continue
+                tail = node.module[len(package) :].lstrip(".")
+            else:
+                base_parts = rel.split("/")[:-1]
+                if rel.endswith("/__init__.py"):
+                    base_parts = rel.split("/")[:-1]
+                up = node.level - 1
+                if up > len(base_parts):
+                    continue
+                base_parts = base_parts[: len(base_parts) - up]
+                tail = ".".join(
+                    base_parts + (node.module.split(".") if node.module else [])
+                )
+            for alias in node.names:
+                sub = _module_file(pkg_root, f"{tail}.{alias.name}" if tail else alias.name)
+                if sub is not None:
+                    targets.add(sub)
+                else:
+                    mod = _module_file(pkg_root, tail)
+                    if mod is not None:
+                        targets.add(mod)
+    return targets
+
+
+def check_project(contexts: list[ModuleContext], config: LintConfig) -> list[Finding]:
+    by_rel = {ctx.rel: ctx for ctx in contexts if ctx.rel is not None}
+    findings: list[Finding] = []
+
+    for decl in config.fingerprint_decls:
+        declaring = by_rel.get(decl.declaring_file)
+        if declaring is None:
+            continue  # the declaring module was not part of this scan
+        pkg_root = declaring.path.resolve().parents[
+            len(decl.declaring_file.split("/")) - 1
+        ]
+        declared, lineno = _declared_tuple(declaring.tree, decl.variable)
+        if declared is None:
+            findings.append(
+                Finding(
+                    path=declaring.display,
+                    line=1,
+                    col=0,
+                    rule=RULE,
+                    message=(
+                        f"could not find a literal tuple assignment "
+                        f"'{decl.variable} = (...)' in {decl.declaring_file}"
+                    ),
+                )
+            )
+            continue
+
+        declared_set = set(declared)
+        exempt = set(decl.exempt)
+        queue = sorted(declared_set)
+        seen: set[str] = set(queue)
+        reported: set[str] = set()
+        importer_of: dict[str, str] = {}
+        while queue:
+            rel = queue.pop(0)
+            path = pkg_root / rel
+            if not path.is_file():
+                findings.append(
+                    Finding(
+                        path=declaring.display,
+                        line=lineno,
+                        col=0,
+                        rule=RULE,
+                        message=(
+                            f"{decl.variable} lists '{rel}' but "
+                            f"{config.package}/{rel} does not exist"
+                        ),
+                    )
+                )
+                continue
+            ctx = by_rel.get(rel)
+            try:
+                tree = ctx.tree if ctx is not None else ast.parse(
+                    path.read_text(encoding="utf-8"), filename=str(path)
+                )
+            except (OSError, SyntaxError, ValueError):
+                continue  # unparseable files surface via the parse-error rule
+            for target in sorted(_imports_of(rel, tree, pkg_root, config.package)):
+                if target == "__init__.py":
+                    continue  # the root package namespace, never verdict logic
+                if target not in seen:
+                    seen.add(target)
+                    importer_of[target] = rel
+                    queue.append(target)
+                if (
+                    target not in declared_set
+                    and target not in exempt
+                    and target not in reported
+                ):
+                    reported.add(target)
+                    importer = importer_of.get(target, rel)
+                    findings.append(
+                        Finding(
+                            path=declaring.display,
+                            line=lineno,
+                            col=0,
+                            rule=RULE,
+                            message=(
+                                f"module '{target}' is reachable from the "
+                                f"{decl.variable} verdict path (imported by "
+                                f"'{importer}') but is not fingerprinted; add "
+                                f"it to {decl.variable} in {decl.declaring_file} "
+                                "or exempt it with a documented justification"
+                            ),
+                        )
+                    )
+    return findings

@@ -106,6 +106,7 @@ _VERDICT_SOURCES = (
     "graphs/digraph.py",
     "graphs/traversal.py",
     "graphs/apsp.py",
+    "graphs/moore.py",
     "otis/h_digraph.py",
     "otis/search.py",
     "kernels/__init__.py",
@@ -430,7 +431,7 @@ class ChunkStore:
         """Chunk ids with a published result file in the store."""
         return {
             path.name[len("chunk-") : -len(".jsonl")]
-            for path in self.directory.glob("chunk-*.jsonl")
+            for path in sorted(self.directory.glob("chunk-*.jsonl"))
         }
 
     def write(self, chunk: SweepChunk, records: list[dict]) -> Path:

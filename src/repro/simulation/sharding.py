@@ -60,6 +60,7 @@ __all__ = [
     "stats_to_json",
     "stats_from_json",
     "ReplicaChunkManifest",
+    "run_replica_chunk",
     "run_replica_shard",
     "merge_replica_stats",
     "run_many_sharded",
@@ -70,6 +71,7 @@ __all__ = [
 #: ``_VERDICT_SOURCES``): editing any of them renames every chunk, so a
 #: resumed study recomputes instead of trusting stale results.
 _SIM_SOURCES = (
+    "words.py",
     "graphs/digraph.py",
     "graphs/apsp.py",
     "routing/paths.py",
@@ -77,6 +79,7 @@ _SIM_SOURCES = (
     "simulation/events.py",
     "simulation/network.py",
     "simulation/scenarios.py",
+    "simulation/workloads.py",
     "kernels/__init__.py",
     "kernels/_pyimpl.py",
     "kernels/native.py",
@@ -311,7 +314,7 @@ def verify_traffics(manifest: ReplicaChunkManifest, traffics) -> list[np.ndarray
     return arrays
 
 
-def _run_replica_chunk(payload) -> list[dict]:
+def run_replica_chunk(payload) -> list[dict]:
     """Simulate one chunk's replicas; returns one record per replica.
 
     ``payload`` is ``(graph, link, router_kind, scenario, [(index, traffic),
@@ -335,6 +338,11 @@ def _run_replica_chunk(payload) -> list[dict]:
         {"replica": index, "stats": stats_to_json(stats)}
         for (index, _), (stats, _) in zip(entries, results)
     ]
+
+
+#: Backwards-compatible alias from before ``run_replica_chunk`` was public
+#: (the fleet driver imports the public name).
+_run_replica_chunk = run_replica_chunk
 
 
 def run_replica_shard(
@@ -384,14 +392,14 @@ def run_replica_shard(
     if workers is not None and workers > 1 and len(todo) > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_run_replica_chunk, payload): chunk
+                pool.submit(run_replica_chunk, payload): chunk
                 for chunk, payload in zip(todo, payloads)
             }
             for future in as_completed(futures):
                 store.write(futures[future], future.result())
     else:
         for chunk, payload in zip(todo, payloads):
-            store.write(chunk, _run_replica_chunk(payload))
+            store.write(chunk, run_replica_chunk(payload))
     return {
         "ran": [chunk.chunk_id for chunk in todo],
         "skipped": skipped,
